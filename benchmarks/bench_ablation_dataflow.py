@@ -1,0 +1,37 @@
+"""Ablation bench: VPE-array dataflow choice (Section IV-B).
+
+The paper argues ACC-output-stationary wins because the alternatives
+double the Private-A1 footprint (transform-domain partial sums) and
+BSK-stationary adds ciphertext streaming pressure.
+"""
+
+from repro.core.accelerator import MorphlingConfig
+from repro.core.dataflow import Dataflow, dataflow_cost, rank_dataflows
+from repro.params import get_params
+
+
+def test_dataflow_ablation(benchmark):
+    cfg, p = MorphlingConfig(), get_params("I")
+    ranking = benchmark(rank_dataflows, cfg, p)
+    # Shape: the paper's choice ranks first.
+    assert ranking[0].dataflow is Dataflow.OUTPUT_STATIONARY
+    # Shape: output-stationary dominates input-stationary outright.
+    out = dataflow_cost(Dataflow.OUTPUT_STATIONARY, cfg, p)
+    inp = dataflow_cost(Dataflow.INPUT_STATIONARY, cfg, p)
+    assert out.dominates(inp)
+    # Shape: the alternatives roughly double (or worse) the A1 footprint.
+    assert inp.a1_bytes_per_ciphertext >= 2 * out.a1_bytes_per_ciphertext
+    # Shape: BSK-stationary multiplies external ciphertext traffic.
+    bsk = dataflow_cost(Dataflow.BSK_STATIONARY, cfg, p)
+    assert bsk.external_bytes_per_iteration > out.external_bytes_per_iteration
+
+
+def test_dataflow_shape_holds_across_sets(benchmark):
+    cfg = MorphlingConfig()
+
+    def rank_all():
+        return [rank_dataflows(cfg, get_params(s))[0].dataflow for s in
+                ("I", "II", "III", "IV", "A", "B", "C")]
+
+    winners = benchmark(rank_all)
+    assert all(w is Dataflow.OUTPUT_STATIONARY for w in winners)

@@ -1,0 +1,34 @@
+"""Ablation bench: double-pointer rotation vs variable-delay shifter
+(Section V-C).  The double pointer keeps the pipeline stall-free."""
+
+from repro.core.accelerator import MorphlingConfig
+from repro.core.simulator import simulate_bootstrap
+from repro.params import get_params
+
+
+def _both(pset):
+    p = get_params(pset)
+    dp = simulate_bootstrap(MorphlingConfig(rotator="double_pointer"), p)
+    sh = simulate_bootstrap(MorphlingConfig(rotator="shifter"), p)
+    return dp, sh
+
+
+def test_rotator_ablation(benchmark):
+    dp, sh = benchmark(_both, "I")
+    # Shape: the shifter's variable latency costs real throughput.
+    assert dp.throughput_bs > sh.throughput_bs
+    assert dp.bootstrap_latency_s < sh.bootstrap_latency_s
+    # Shape: the stall overhead is a double-digit-percent effect.
+    assert dp.throughput_bs / sh.throughput_bs > 1.10
+
+
+def test_rotator_penalty_grows_with_n(benchmark):
+    def penalties():
+        out = {}
+        for pset in ("I", "III"):
+            dp, sh = _both(pset)
+            out[pset] = dp.throughput_bs / sh.throughput_bs
+        return out
+
+    pen = benchmark(penalties)
+    assert pen["I"] > 1.0 and pen["III"] > 1.0

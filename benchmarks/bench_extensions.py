@@ -1,0 +1,87 @@
+"""Benches for the extension features: unrolling, multi-LUT, NTT engine,
+the pipeline trace, and the instruction encoding."""
+
+import numpy as np
+import pytest
+
+from repro import TEST_PARAMS, TfheContext
+from repro.core.accelerator import MorphlingConfig
+from repro.core.isa_encoding import decode_stream, encode_stream
+from repro.core.scheduler import LayerDemand, SwScheduler
+from repro.core.trace import trace_blind_rotation
+from repro.core.xpu import XpuModel
+from repro.params import get_params
+from repro.tfhe.multilut import multi_lut_bootstrap
+from repro.tfhe.polynomial import poly_mul
+from repro.tfhe.unrolled import unrolled_blind_rotation_tradeoff
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return TfheContext.create(TEST_PARAMS, seed=13)
+
+
+def test_unrolling_tradeoff(benchmark):
+    t = benchmark(unrolled_blind_rotation_tradeoff, get_params("I"))
+    # Shape: half the sequential latency for 1.5x the work and key size.
+    assert t["latency_ratio"] == pytest.approx(0.5)
+    assert t["work_ratio"] == pytest.approx(1.5)
+    assert t["unrolled_bsk_bytes"] == pytest.approx(1.5 * t["plain_bsk_bytes"])
+
+
+def test_multi_lut_amortization(benchmark, ctx):
+    """Two functions from one blind rotation must cost well under two
+    bootstraps."""
+    import time
+
+    luts = [lambda x: x, lambda x: (3 - x) % 4]
+    ct = ctx.encrypt(1, 8)
+    outs = benchmark(multi_lut_bootstrap, ct, luts, ctx.keyset, 8)
+    assert [ctx.decrypt(o, 8) for o in outs] == [1, 2]
+
+    start = time.perf_counter()
+    for _ in range(5):
+        multi_lut_bootstrap(ct, luts, ctx.keyset, 8)
+    double = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(5):
+        ctx.bootstrap(ct, 8)
+        ctx.bootstrap(ct, 8)
+    two_singles = time.perf_counter() - start
+    assert double < 0.75 * two_singles
+
+
+def test_ntt_engine_exactness_cost(benchmark):
+    """The exact NTT engine is the slow-but-exact reference; the FFT engine
+    must beat it (the trade Morphling's datapath embodies)."""
+    import time
+
+    rng = np.random.default_rng(0)
+    small = rng.integers(-64, 64, size=256)
+    big = rng.integers(0, 1 << 32, size=256, dtype=np.uint64).astype(np.uint32)
+    benchmark(poly_mul, small, big, "ntt")
+    start = time.perf_counter()
+    for _ in range(10):
+        poly_mul(small, big, engine="fft")
+    fft_time = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(10):
+        poly_mul(small, big, engine="ntt")
+    ntt_time = time.perf_counter() - start
+    assert fft_time < ntt_time
+
+
+def test_pipeline_trace_consistency(benchmark):
+    trace = benchmark(trace_blind_rotation, MorphlingConfig(), get_params("I"), 8)
+    analytic = XpuModel(MorphlingConfig(), get_params("I")).iteration_cycles()
+    assert trace.steady_state_interval() == pytest.approx(analytic)
+
+
+def test_instruction_stream_density(benchmark):
+    """Binary programs stay tiny next to the data they orchestrate."""
+    sched = SwScheduler(MorphlingConfig(), get_params("I"))
+    program = sched.schedule([LayerDemand("layer", 64 * 16)])
+    blob = benchmark(encode_stream, program)
+    assert decode_stream(blob) == list(program)
+    data_bytes = sum(i.data_bytes for i in program)
+    assert len(blob) < data_bytes / 1000  # instructions ≪ data

@@ -1,0 +1,24 @@
+"""Figure 1 bench: bootstrap operation/memory/CPU-time breakdown."""
+
+from repro.analysis import count_bootstrap_operations
+from repro.baselines import CpuCostModel
+from repro.experiments import run_fig1
+from repro.params import FIG1_PARAMS
+
+
+def test_fig1_breakdown(benchmark, show):
+    result = benchmark(run_fig1)
+    show(result)
+    shares = count_bootstrap_operations(FIG1_PARAMS).shares()
+    # Shape: I/FFT dominates (~88%), KS ~2%, other ~1%.
+    assert 0.85 < shares["ifft_fft"] < 0.93
+    assert shares["key_switch"] < 0.05
+    assert shares["other"] < 0.02
+
+
+def test_fig1_cpu_time_shape(benchmark):
+    cpu = CpuCostModel()
+    t = benchmark(cpu.bootstrap_time, FIG1_PARAMS)
+    # Shape: blind rotation dominates CPU time; KS non-negligible.
+    assert t.blind_rotation_s > 4 * t.key_switch_s
+    assert t.key_switch_s > 50 * t.other_s

@@ -1,0 +1,34 @@
+"""Figures 2 and 6 benches: dataflow placement and co-scheduled execution."""
+
+from repro.experiments import run_fig2, run_fig6
+
+
+def test_fig2(benchmark, show):
+    result = benchmark(run_fig2)
+    show(result)
+    per_vpe = [float(x) for x in result.column("transforms per VPE")]
+    # Shape: each reuse step strictly lowers the per-VPE transform load.
+    assert per_vpe == sorted(per_vpe, reverse=True)
+    fwd = result.column("forward F")
+    # Shape: input reuse divides forward transforms by k+1 (=3 here).
+    assert fwd[0] == 3 * fwd[1]
+
+
+def test_fig6(benchmark, show):
+    result = benchmark(run_fig6)
+    show(result)
+    engines = set(result.column("engine"))
+    # Shape: all engine classes participate.
+    assert "xpu" in engines and "dma_xpu" in engines
+    assert any(e.startswith("vpu") for e in engines)
+    # Shape: the XPU runs the groups back to back (full pipelining): each
+    # group's blind rotation starts when the previous one ends.
+    brs = sorted(
+        (row for row in result.rows if row[1] == "blind_rotate"),
+        key=lambda r: r[3],
+    )
+    for prev, cur in zip(brs, brs[1:]):
+        assert abs(cur[3] - prev[4]) < 0.02  # ms
+    # Shape: DMA prefetch finishes before the dependent blind rotation.
+    bsk_loads = [row for row in result.rows if row[1] == "load_bsk"]
+    assert min(b[4] for b in bsk_loads) <= brs[0][3] + 1e-9

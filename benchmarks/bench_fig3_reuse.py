@@ -1,0 +1,20 @@
+"""Figure 3 bench: domain-transform reduction per reuse type."""
+
+from repro.core.reuse import ReuseType, reduction_vs_no_reuse, transforms_per_bootstrap
+from repro.experiments import run_fig3
+from repro.params import get_params
+
+
+def test_fig3(benchmark, show):
+    result = benchmark(run_fig3)
+    show(result)
+    # Shape: the paper's headline counts are exact.
+    assert transforms_per_bootstrap(get_params("C"), ReuseType.NO_REUSE).total == 46752
+    assert reduction_vs_no_reuse(1, 1, ReuseType.INPUT_REUSE) == 0.25
+    assert reduction_vs_no_reuse(3, 3, ReuseType.INPUT_REUSE) == 0.375
+    assert abs(reduction_vs_no_reuse(3, 3, ReuseType.INPUT_OUTPUT_REUSE) - 5 / 6) < 1e-12
+    # Shape: reduction grows with (k, l_b).
+    reductions = [
+        reduction_vs_no_reuse(k, k, ReuseType.INPUT_OUTPUT_REUSE) for k in (1, 2, 3)
+    ]
+    assert reductions == sorted(reductions)

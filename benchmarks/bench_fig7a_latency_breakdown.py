@@ -1,0 +1,19 @@
+"""Figure 7-a bench: per-component latency breakdown."""
+
+from repro.core.accelerator import MorphlingConfig
+from repro.core.simulator import simulate_bootstrap
+from repro.experiments import run_fig7a
+from repro.params import get_params
+
+
+def test_fig7a(benchmark, show):
+    result = benchmark(run_fig7a)
+    show(result)
+    # Shape: the XPU dominates (paper: 88-93%; set IV is our weakest at 73%).
+    for pset in ("I", "II", "III"):
+        fr = simulate_bootstrap(MorphlingConfig(), get_params(pset)).latency_fractions()
+        assert fr["xpu_blind_rotation"] > 0.85
+    fr = simulate_bootstrap(MorphlingConfig(), get_params("IV")).latency_fractions()
+    assert fr["xpu_blind_rotation"] > 0.70
+    # Shape: among the VPU stages KS dominates; MS/SE are negligible.
+    assert fr["vpu_key_switch"] > 20 * fr["vpu_modulus_switch"]

@@ -1,0 +1,38 @@
+"""Figure 7-b bench: transform-domain reuse impact under equal resources."""
+
+import pytest
+
+from repro.baselines import equal_resource_variants
+from repro.core.simulator import simulate_bootstrap
+from repro.experiments import run_fig7b
+from repro.params import get_params
+
+
+def _ladder(pset):
+    p = get_params(pset)
+    out = {}
+    for name, cfg in equal_resource_variants().items():
+        r = simulate_bootstrap(cfg, p)
+        out[name] = r.group_size / r.xpu_busy_s
+    return out
+
+
+def test_fig7b(benchmark, show):
+    result = benchmark(run_fig7b)
+    show(result)
+    # Shape: input+output reuse speedup grows with (k, l_b):
+    # paper 2.0x (A), 2.9x (B), 3.9x (C); ours 2.0 / 3.0 / 4.0.
+    expectations = {"A": 2.0, "B": 3.0, "C": 4.0}
+    for pset, expected in expectations.items():
+        ladder = _ladder(pset)
+        io_speedup = ladder["input+output-reuse"] / ladder["no-reuse"]
+        assert io_speedup == pytest.approx(expected, rel=0.10), pset
+
+
+def test_fig7b_ladder_monotone(benchmark):
+    ladder = benchmark(_ladder, "B")
+    values = list(ladder.values())
+    # Shape: every added technique helps (no-reuse < input < in+out < +MS).
+    assert values == sorted(values)
+    # Shape: merge-split FFT adds a further speedup on top of in+out reuse.
+    assert ladder["input+output-reuse+ms-fft"] > 1.15 * ladder["input+output-reuse"]

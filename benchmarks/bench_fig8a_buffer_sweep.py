@@ -1,0 +1,18 @@
+"""Figure 8-a bench: Private-A1 size sweep (the 4096 KB knee)."""
+
+from repro.experiments import run_fig8a
+
+
+def test_fig8a(benchmark, show):
+    result = benchmark(run_fig8a)
+    show(result)
+    sizes = result.column("A1 (KB)")
+    thr = result.column("throughput (BS/s)")
+    by_size = dict(zip(sizes, thr))
+    # Shape: degraded below 4096 KB, stable at and above it.
+    assert by_size[2048] < by_size[4096]
+    assert by_size[512] < by_size[2048]
+    assert by_size[8192] == by_size[4096]
+    assert by_size[16384] == by_size[4096]
+    # Shape: throughput is monotone non-decreasing in buffer size.
+    assert thr == sorted(thr)

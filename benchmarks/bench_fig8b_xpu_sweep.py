@@ -1,0 +1,23 @@
+"""Figure 8-b bench: XPU-count sweep (linear to 4, degraded beyond)."""
+
+import pytest
+
+from repro.experiments import run_fig8b
+
+
+def test_fig8b(benchmark, show):
+    result = benchmark(run_fig8b)
+    show(result)
+    thr = dict(zip(result.column("XPUs"), result.column("throughput (BS/s)")))
+    bottleneck = dict(zip(result.column("XPUs"), result.column("bottleneck")))
+    # Shape: linear scaling from 1 to 4 XPUs.
+    assert thr[2] == pytest.approx(2 * thr[1], rel=0.05)
+    assert thr[4] == pytest.approx(4 * thr[1], rel=0.05)
+    # Shape: the crossover falls at 4 - the 5th XPU *hurts*.
+    assert thr[5] < thr[4]
+    # Shape: past four XPUs the machine is external-bandwidth limited.
+    for n in (5, 6, 8):
+        assert bottleneck[n] == "bsk_bandwidth"
+    # Shape: per-XPU efficiency collapses past the knee.
+    per_xpu = dict(zip(result.column("XPUs"), result.column("per-XPU (BS/s)")))
+    assert per_xpu[5] < 0.6 * per_xpu[4]

@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the functional substrate itself.
+
+Not a paper table - these time the Python implementation's hot paths
+(negacyclic FFT, external product, full bootstrap) so substrate
+regressions are visible, and they double as a sanity check that the
+transform engine beats the exact engine, mirroring why Concrete and
+Morphling use FFTs at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TEST_PARAMS, TfheContext
+from repro.tfhe.ggsw import external_product, external_product_transform, ggsw_encrypt
+from repro.tfhe.glwe import glwe_encrypt, glwe_keygen
+from repro.transforms import negacyclic_convolve_fft, negacyclic_fft
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return TfheContext.create(TEST_PARAMS, seed=3)
+
+
+def test_negacyclic_fft_n1024(benchmark):
+    rng = np.random.default_rng(0)
+    poly = rng.integers(-(2**31), 2**31, size=1024).astype(float)
+    benchmark(negacyclic_fft, poly)
+
+
+def test_negacyclic_convolution_n1024(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.integers(-128, 128, size=1024)
+    b = rng.integers(-(2**31), 2**31, size=1024)
+    result = benchmark(negacyclic_convolve_fft, a, b)
+    assert result.shape == (1024,)
+
+
+def test_external_product_transform_engine(benchmark, ctx):
+    rng = np.random.default_rng(5)
+    key = ctx.keyset.glwe_key
+    g = ggsw_encrypt(1, key, TEST_PARAMS.beta_bits, TEST_PARAMS.l_b, rng)
+    ct = glwe_encrypt(np.zeros(key.N, np.uint32), key, rng)
+    g.spectrum()  # pre-transform, as the Private-A2 buffer would
+    benchmark(external_product_transform, g, ct)
+
+
+def test_exact_engine_reference_cost(benchmark, ctx):
+    """Time the exact integer engine; it must lose to the transform engine
+    (why Concrete and Morphling use FFTs at all)."""
+    import time
+
+    rng = np.random.default_rng(5)
+    key = ctx.keyset.glwe_key
+    g = ggsw_encrypt(1, key, TEST_PARAMS.beta_bits, TEST_PARAMS.l_b, rng)
+    ct = glwe_encrypt(np.zeros(key.N, np.uint32), key, rng)
+    g.spectrum()
+    benchmark(external_product, g, ct, engine="exact")
+
+    start = time.perf_counter()
+    for _ in range(10):
+        external_product_transform(g, ct)
+    fast = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(10):
+        external_product(g, ct, engine="exact")
+    slow = time.perf_counter() - start
+    assert fast < slow
+
+
+def test_full_bootstrap(benchmark, ctx):
+    ct = ctx.encrypt(2)
+    out = benchmark(ctx.bootstrap, ct)
+    assert ctx.decrypt(out) == 2

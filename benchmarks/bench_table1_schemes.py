@@ -1,0 +1,14 @@
+"""Table I bench: scheme parameter profiles."""
+
+from repro.experiments import run_table1
+
+
+def test_table1(benchmark, show):
+    result = benchmark(run_table1)
+    show(result)
+    families = dict(zip(result.column("scheme"), result.column("family")))
+    # Shape: TFHE is the small-parameter family, everything else large.
+    assert families["TFHE"] == "small"
+    assert all(families[s] == "large" for s in ("CKKS", "BGV", "BFV"))
+    rns = dict(zip(result.column("scheme"), result.column("needs RNS")))
+    assert rns["TFHE"] == "no"

@@ -1,0 +1,16 @@
+"""Table III bench: parameter sets and their key-material footprints."""
+
+from repro.experiments import run_table3
+from repro.params import PARAM_SETS
+
+
+def test_table3(benchmark, show):
+    result = benchmark(run_table3)
+    show(result)
+    assert result.column("set") == ["I", "II", "III", "IV", "A", "B", "C"]
+    # Shape: the paper's (N, n, k, l_b) verbatim.
+    assert PARAM_SETS["I"].N == 1024 and PARAM_SETS["I"].n == 500
+    assert PARAM_SETS["C"].k == 3 and PARAM_SETS["C"].l_b == 3
+    # Shape: every k=1 128-bit set uses N >= 2048 (security scaling).
+    for name in ("III", "IV", "A"):
+        assert PARAM_SETS[name].N >= 2048

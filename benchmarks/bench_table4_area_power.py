@@ -1,0 +1,24 @@
+"""Table IV bench: area/power breakdown regression."""
+
+from repro.core.accelerator import MorphlingConfig
+from repro.core.area_power import TABLE_IV_PAPER, AreaPowerModel
+from repro.experiments import run_table4
+
+
+def test_table4(benchmark, show):
+    result = benchmark(run_table4)
+    show(result)
+    total_area = float(result.rows[-1][1])
+    total_power = float(result.rows[-1][2])
+    # Shape: totals within 1% of the paper's 74.79 mm^2 / 53.00 W.
+    assert abs(total_area - TABLE_IV_PAPER["total"].area_mm2) < 0.8
+    assert abs(total_power - TABLE_IV_PAPER["total"].power_w) < 0.6
+
+
+def test_table4_scaling_shape(benchmark):
+    model = benchmark(AreaPowerModel, MorphlingConfig(num_xpus=8))
+    # Shape: doubling XPUs adds four XPU blocks plus their NoC ports.
+    base_model = AreaPowerModel(MorphlingConfig())
+    grown = model.total().area_mm2 - base_model.total().area_mm2
+    expected = 4 * base_model.xpu_cost().area_mm2 + base_model.noc_cost().area_mm2
+    assert abs(grown - expected) < 1e-9

@@ -1,0 +1,33 @@
+"""Table V bench: cross-platform bootstrap latency/throughput comparison.
+
+This is the headline result: simulated Morphling vs every published
+system, with the paper's speedup factors as the shape contract.
+"""
+
+import pytest
+
+from repro.baselines import speedup_range
+from repro.experiments import morphling_throughputs, run_table5
+
+
+def test_table5(benchmark, show):
+    result = benchmark(run_table5)
+    show(result)
+    thr = morphling_throughputs()
+    # Shape: Morphling wins everywhere, by roughly the paper's factors.
+    lo, hi = speedup_range(thr, "Concrete")
+    assert 1800 < lo and hi < 4000  # paper: 2145-3439x
+    lo, hi = speedup_range(thr, "NuFHE")
+    assert 40 < lo and hi < 200  # paper: 60-144x
+    _, matcha = speedup_range(thr, "MATCHA")
+    assert matcha == pytest.approx(14.76, rel=0.15)  # paper: 14.76x
+    strix, _ = speedup_range(thr, "Strix")
+    assert strix == pytest.approx(1.98, rel=0.15)  # paper: 1.98x
+    # Shape: within each platform class faster at smaller parameters.
+    assert thr["I"] > thr["II"] > thr["III"]
+
+
+def test_table5_latency_ordering(benchmark):
+    thr = benchmark(morphling_throughputs)
+    # Shape: set IV (l_b=1) outruns set III (l_b=3) despite same N.
+    assert thr["IV"] > 2 * thr["III"]

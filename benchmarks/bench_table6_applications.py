@@ -1,0 +1,24 @@
+"""Table VI bench: application execution time, Morphling vs 64-core CPU."""
+
+from repro.experiments import run_table6
+
+
+def test_table6(benchmark, show):
+    result = benchmark(run_table6)
+    show(result)
+    morphling = dict(zip(result.column("application"), result.column("Morphling (s)")))
+    cpu = dict(zip(result.column("application"), result.column("CPU (s)")))
+    # Shape: Morphling wins everywhere by ~100x (paper: 88-144x).
+    for app in morphling:
+        speedup = cpu[app] / morphling[app]
+        assert 80 < speedup < 160, (app, speedup)
+    # Shape: sub-second latency for every model except DeepCNN-50/100.
+    assert morphling["XG-Boost"] < 0.1
+    assert morphling["VGG-9"] < 1.0
+    # Shape: DeepCNN scales linearly in trunk depth.
+    d20, d50, d100 = (morphling[f"DeepCNN-{x}"] for x in (20, 50, 100))
+    per_layer_a = (d50 - d20) / 30
+    per_layer_b = (d100 - d50) / 50
+    assert abs(per_layer_a - per_layer_b) < 0.15 * per_layer_a
+    # Shape: ordering matches the paper (XG-Boost fastest, DeepCNN-100 slowest).
+    assert morphling["XG-Boost"] < morphling["DeepCNN-20"] < morphling["DeepCNN-100"]

@@ -1,0 +1,21 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one paper table/figure via its experiment driver,
+prints the regenerated rows (``-s`` to see them), and asserts the
+paper-shape invariants (who wins, by roughly what factor, where the
+crossovers fall).
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print a regenerated experiment table to the terminal."""
+
+    def _show(result):
+        with capsys.disabled():
+            print()
+            print(result.to_text())
+
+    return _show

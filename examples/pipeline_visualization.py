@@ -1,0 +1,43 @@
+"""Visualize the XPU pipeline and the reuse ladder as ASCII timelines.
+
+Renders what the cycle trace records: how rotation, decomposition, the
+merge-split FFTs, the VPE array, and the IFFTs overlap across
+blind-rotation iterations - and how the picture changes when
+transform-domain reuse is taken away.
+
+Run:  python examples/pipeline_visualization.py
+"""
+
+from repro import get_params
+from repro.core import MorphlingConfig, render_timeline, trace_blind_rotation
+from repro.core.xpu import XpuModel
+
+
+def show(config, params, title):
+    trace = trace_blind_rotation(config, params, iterations=5)
+    analytic = XpuModel(config, params).iteration_cycles()
+    print(f"== {title} ==")
+    print(render_timeline(trace))
+    print(f"steady-state: {trace.steady_state_interval():.0f} cycles/iteration "
+          f"(analytic model: {analytic:.0f}); bottleneck: {trace.bottleneck()}")
+    occupancy = ", ".join(f"{k} {v:.0%}" for k, v in trace.occupancy().items())
+    print(f"occupancy: {occupancy}\n")
+
+
+def main() -> None:
+    params = get_params("I")
+    show(MorphlingConfig(), params,
+         "Morphling (input+output reuse, merge-split FFT) - set I")
+    show(MorphlingConfig(merge_split=False, name="io-no-ms"), params,
+         "input+output reuse, no merge-split - set I")
+    show(MorphlingConfig.no_reuse(), params,
+         "no reuse (MATCHA-class) - set I")
+    show(MorphlingConfig(), get_params("C"),
+         "Morphling - set C (k=3, l_b=3: where reuse pays most)")
+    print("Reading the timelines: with input+output reuse the FFT row stays "
+          "saturated\nand every other stage hides behind it; without reuse the "
+          "transform rows\nstretch ~4x and the array starves.")
+
+
+if __name__ == "__main__":
+    main()

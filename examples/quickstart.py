@@ -1,0 +1,50 @@
+"""Quickstart: encrypt, compute on ciphertexts, bootstrap, decrypt —
+then ask the performance model what Morphling would do with it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TfheContext, get_params
+from repro.core import MorphlingConfig, simulate_bootstrap
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Functional TFHE on the fast test parameter set.
+    # ------------------------------------------------------------------
+    ctx = TfheContext.create(get_params("test"), seed=42)
+
+    message = 3
+    ct = ctx.encrypt(message)
+    print(f"encrypted {message}, decrypts to {ctx.decrypt(ct)}")
+
+    # A programmable bootstrap evaluates a lookup table while resetting
+    # the ciphertext noise - here f(x) = (x + 1) mod 4.
+    bumped = ctx.apply_lut(ct, lambda x: (x + 1) % 4)
+    print(f"LUT bootstrap f(x)=x+1: {ctx.decrypt(bumped)}")
+
+    # Boolean gates are one addition + one bootstrap.
+    a, b = ctx.encrypt(1), ctx.encrypt(1)
+    print(f"NAND(1,1) = {ctx.decrypt(ctx.gate('nand', a, b))}")
+    print(f"XOR(1,1)  = {ctx.decrypt(ctx.gate('xor', a, b))}")
+
+    # Signed arithmetic with a single-bootstrap ReLU.
+    neg = ctx.encrypt_signed(-2)
+    print(f"ReLU(-2) = {ctx.decrypt_signed(ctx.relu_signed(neg))}")
+
+    # ------------------------------------------------------------------
+    # 2. The Morphling performance model on the paper's parameter sets.
+    # ------------------------------------------------------------------
+    print("\nMorphling simulated bootstrap performance (Table V):")
+    config = MorphlingConfig()
+    for pset in ("I", "II", "III", "IV"):
+        r = simulate_bootstrap(config, get_params(pset))
+        print(
+            f"  set {pset}: latency {r.bootstrap_latency_ms:.2f} ms, "
+            f"throughput {r.throughput_bs:,.0f} bootstraps/s "
+            f"(bottleneck: {r.bottleneck})"
+        )
+
+
+if __name__ == "__main__":
+    main()

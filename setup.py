@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` can use the legacy setuptools develop path offline
+(PEP 660 editable wheels require the ``wheel`` package, which is not
+available in the offline environment).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""Morphling (HPCA 2024) reproduction.
+
+A TFHE scheme substrate plus a functional/performance model of the
+Morphling accelerator: 2D-systolic VPE arrays with transform-domain reuse,
+merge-split pipelined FFTs, double-pointer rotation, specialized buffers,
+an HBM channel model, and the SW/HW co-scheduler - with baselines,
+applications and experiment drivers regenerating every table and figure of
+the paper's evaluation.
+
+Quickstart::
+
+    from repro import TfheContext, get_params
+
+    ctx = TfheContext.create(get_params("test"))
+    ct = ctx.encrypt(3)
+    out = ctx.bootstrap(ct)
+    assert ctx.decrypt(out) == 3
+"""
+
+from .params import (
+    FIG1_PARAMS,
+    PARAM_SETS,
+    SCHEME_PROFILES,
+    TEST_PARAMS,
+    TEST_PARAMS_K2,
+    SchemeProfile,
+    TFHEParams,
+    get_params,
+)
+from .tfhe import TfheContext
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TFHEParams",
+    "SchemeProfile",
+    "PARAM_SETS",
+    "SCHEME_PROFILES",
+    "FIG1_PARAMS",
+    "TEST_PARAMS",
+    "TEST_PARAMS_K2",
+    "get_params",
+    "TfheContext",
+    "__version__",
+]

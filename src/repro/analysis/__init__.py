@@ -1,0 +1,36 @@
+"""Workload analysis: operation counts, memory footprints, compute intensity.
+
+These modules regenerate the paper's Figure 1 motivation study from first
+principles (with the counting conventions documented per module).
+"""
+
+from .calibration import NoiseMeasurement, calibrate_bootstrap_noise, calibrate_fresh_noise
+from .intensity import StageIntensity, bootstrap_intensity
+from .param_search import ParameterChoice, cheapest_for_modulus, search_decomposition
+from .memory import MemoryBreakdown, bootstrap_memory
+from .roofline import RooflinePoint, attainable_rate, machine_balance, workload_points
+from .security import SecurityEstimate, classify_parameter_set, estimate_security
+from .opcount import OperationBreakdown, count_bootstrap_operations, transform_real_mults
+
+__all__ = [
+    "StageIntensity",
+    "NoiseMeasurement",
+    "calibrate_fresh_noise",
+    "calibrate_bootstrap_noise",
+    "ParameterChoice",
+    "search_decomposition",
+    "cheapest_for_modulus",
+    "bootstrap_intensity",
+    "MemoryBreakdown",
+    "SecurityEstimate",
+    "RooflinePoint",
+    "machine_balance",
+    "workload_points",
+    "attainable_rate",
+    "classify_parameter_set",
+    "estimate_security",
+    "bootstrap_memory",
+    "OperationBreakdown",
+    "count_bootstrap_operations",
+    "transform_real_mults",
+]

@@ -1,0 +1,99 @@
+"""Empirical noise calibration: measured distributions vs the model.
+
+The noise formulas in :mod:`repro.tfhe.noise` predict variances; this
+module *measures* them by running real encryptions/bootstraps with the
+secret key in hand and collecting phase errors - the experiment a
+parameter-selection pipeline runs before trusting any analytic model.
+
+``calibrate_fresh_noise`` and ``calibrate_bootstrap_noise`` return
+:class:`NoiseMeasurement` records (sample count, empirical std,
+predicted std, worst observation); ``NoiseMeasurement.consistent``
+applies a generous chi-square-style band, since analytic TFHE noise
+models are intentionally conservative upper bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tfhe.encoding import identity_test_polynomial
+from ..tfhe.bootstrap import programmable_bootstrap
+from ..tfhe.noise import (
+    bootstrap_output_noise_std_log2,
+    measure_lwe_noise,
+)
+from ..tfhe.ops import TfheContext
+from ..tfhe.torus import encode_message
+
+__all__ = ["NoiseMeasurement", "calibrate_fresh_noise", "calibrate_bootstrap_noise"]
+
+
+@dataclass(frozen=True)
+class NoiseMeasurement:
+    """Empirical vs predicted noise of one ciphertext population."""
+
+    label: str
+    samples: int
+    empirical_std: float
+    predicted_std: float
+    worst_abs_error: float
+
+    @property
+    def ratio(self) -> float:
+        """Empirical / predicted; < 1 means the model is conservative."""
+        if self.predicted_std <= 0:
+            return math.inf
+        return self.empirical_std / self.predicted_std
+
+    def consistent(self, slack: float = 4.0) -> bool:
+        """Measured noise must not exceed the prediction by ``slack``x.
+
+        (The other direction - measuring *less* noise than predicted -
+        is expected: the formulas are worst-case bounds.)
+        """
+        return self.ratio <= slack
+
+
+def calibrate_fresh_noise(
+    ctx: TfheContext, samples: int = 64, message: int = 1, p: int = 8
+) -> NoiseMeasurement:
+    """Measure the phase error of fresh encryptions."""
+    if samples < 2:
+        raise ValueError("need at least two samples")
+    expected = int(encode_message(message, p, ctx.params.q_bits)[()])
+    errors = np.array([
+        measure_lwe_noise(ctx.encrypt(message, p), ctx.keyset.lwe_key, expected)
+        for _ in range(samples)
+    ])
+    return NoiseMeasurement(
+        "fresh-encryption",
+        samples,
+        float(errors.std(ddof=1)),
+        2.0 ** ctx.params.lwe_noise_log2,
+        float(np.abs(errors).max()),
+    )
+
+
+def calibrate_bootstrap_noise(
+    ctx: TfheContext, samples: int = 16, message: int = 2, p: int = 8
+) -> NoiseMeasurement:
+    """Measure the phase error of bootstrapped ciphertexts."""
+    if samples < 2:
+        raise ValueError("need at least two samples")
+    tp = identity_test_polynomial(ctx.params, p)
+    expected = int(encode_message(message, p, ctx.params.q_bits)[()])
+    errors = []
+    for _ in range(samples):
+        out = programmable_bootstrap(ctx.encrypt(message, p), tp, ctx.keyset)
+        errors.append(measure_lwe_noise(out, ctx.keyset.lwe_key, expected))
+    errors = np.array(errors)
+    return NoiseMeasurement(
+        "bootstrap-output",
+        samples,
+        float(errors.std(ddof=1)),
+        2.0 ** bootstrap_output_noise_std_log2(ctx.params),
+        float(np.abs(errors).max()),
+    )

@@ -1,0 +1,48 @@
+"""Compute intensity (operations/byte) per bootstrap stage.
+
+Section III's observation: blind rotation is compute-intensive (high
+ops/byte) while key switching and the other stages are memory-intensive
+(low ops/byte) - which is why Morphling splits the machine into XPUs and
+a programmable VPU.  This module quantifies that split from the
+operation and memory models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import TFHEParams
+from .memory import bootstrap_memory
+from .opcount import count_bootstrap_operations
+
+__all__ = ["StageIntensity", "bootstrap_intensity"]
+
+
+@dataclass(frozen=True)
+class StageIntensity:
+    """Ops/byte per stage; the XPU/VPU split criterion."""
+
+    blind_rotation: float
+    key_switch: float
+    other: float
+
+    def compute_bound_stage(self) -> str:
+        """The stage with the highest arithmetic intensity."""
+        stages = {
+            "blind_rotation": self.blind_rotation,
+            "key_switch": self.key_switch,
+            "other": self.other,
+        }
+        return max(stages, key=stages.get)
+
+
+def bootstrap_intensity(params: TFHEParams) -> StageIntensity:
+    """Operations per byte for each bootstrap stage."""
+    ops = count_bootstrap_operations(params)
+    mem = bootstrap_memory(params)
+    other_bytes = mem.lwe_bytes + mem.acc_bytes  # MS/SE touch ciphertexts only
+    return StageIntensity(
+        blind_rotation=ops.blind_rotation_ops / mem.blind_rotation_bytes,
+        key_switch=ops.key_switch_ops / mem.key_switch_bytes,
+        other=ops.other_ops / max(other_bytes, 1),
+    )

@@ -1,0 +1,103 @@
+"""Parameter optimization: pick the cheapest decomposition that closes.
+
+A miniature of Concrete's parameter optimizer (the paper's reference
+[18], "Parameter Optimization and Larger Precision for (T)FHE"): given a
+target message modulus and the (N, n, k) skeleton, search the gadget
+decomposition space ``(beta_bits, l_b, beta_ks_bits, l_k)`` for the
+configuration that minimizes bootstrap cost while the predicted output
+noise still decodes with margin.
+
+Cost model: blind-rotation work scales with ``l_b`` (it multiplies the
+polynomial products *and* the BSK bytes) and key switching with ``l_k``,
+so the optimizer wants both as small as the noise budget allows - which
+is exactly why the paper's Table III sets pair small ``l_b`` with wide
+bases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import TFHEParams
+from ..tfhe.noise import bootstrap_output_noise_std_log2, max_noise_for_message_modulus
+
+__all__ = ["ParameterChoice", "search_decomposition", "cheapest_for_modulus"]
+
+
+@dataclass(frozen=True)
+class ParameterChoice:
+    """One feasible decomposition with its cost and noise margin."""
+
+    params: TFHEParams
+    cost: float
+    noise_std: float
+    budget: float
+
+    @property
+    def margin(self) -> float:
+        """Budget / (4 sigma): >= 1 means the choice decodes safely."""
+        return self.budget / (4.0 * self.noise_std)
+
+
+def _bootstrap_cost(params: TFHEParams) -> float:
+    """Relative bootstrap cost: external-product work + KS work.
+
+    Polynomial products dominate (each costs ~N log N); KS contributes
+    its MAC count scaled to the same units.
+    """
+    import math
+
+    br = params.polymults_per_bootstrap * params.N * math.log2(params.N)
+    ks = params.k * params.N * params.l_k * (params.n + 1)
+    return br + ks
+
+
+def search_decomposition(
+    base: TFHEParams,
+    p: int,
+    sigmas: float = 4.0,
+    l_b_range=range(1, 5),
+    l_k_range=range(2, 7),
+) -> list:
+    """Enumerate feasible (beta, l_b, beta_ks, l_k) choices, cheapest first.
+
+    For every level count the base width is maximized (wider base =
+    fewer levels of work) subject to fitting in the modulus; a choice is
+    feasible when the predicted bootstrap output noise decodes ``p``
+    with a ``sigmas`` margin.
+    """
+    if p < 2 or p & (p - 1):
+        raise ValueError("message modulus must be a power of two >= 2")
+    budget = max_noise_for_message_modulus(p)
+    feasible = []
+    for l_b in l_b_range:
+        for l_k in l_k_range:
+            # Cost depends only on the level counts; among base widths we
+            # keep the feasible choice with the most noise margin.
+            best = None
+            for beta_bits in range(1, base.q_bits // l_b + 1):
+                for beta_ks_bits in range(1, base.q_bits // l_k + 1):
+                    candidate = base.with_overrides(
+                        name=f"{base.name}-b{beta_bits}l{l_b}-kb{beta_ks_bits}kl{l_k}",
+                        beta_bits=beta_bits, l_b=l_b,
+                        beta_ks_bits=beta_ks_bits, l_k=l_k,
+                    )
+                    std = 2.0 ** bootstrap_output_noise_std_log2(candidate)
+                    if sigmas * std < budget and (best is None or std < best.noise_std):
+                        best = ParameterChoice(
+                            candidate, _bootstrap_cost(candidate), std, budget
+                        )
+            if best is not None:
+                feasible.append(best)
+    feasible.sort(key=lambda c: c.cost)
+    return feasible
+
+
+def cheapest_for_modulus(base: TFHEParams, p: int, sigmas: float = 4.0) -> ParameterChoice:
+    """The cheapest feasible decomposition for message modulus ``p``."""
+    feasible = search_decomposition(base, p, sigmas)
+    if not feasible:
+        raise ValueError(
+            f"no feasible decomposition for p={p} on {base.describe()}"
+        )
+    return feasible[0]

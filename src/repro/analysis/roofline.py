@@ -1,0 +1,95 @@
+"""Roofline analysis of Morphling: machine balance vs workload intensity.
+
+Section III's compute-vs-memory split, made quantitative: the machine's
+*balance point* is its peak compute rate divided by its memory bandwidth
+(ops/byte); workloads above it are compute-bound, below it memory-bound.
+The analysis confirms the paper's architecture argument end to end:
+
+- raw key switching (no reuse) sits far below the VPU group's balance
+  point -> it is bandwidth work, which is why Morphling gives the VPU 6
+  of the 8 HBM channels;
+- the scheduler's reuse factors (64x BSK / 64x KSK) are exactly what
+  drags both stages across their balance points into the compute-bound
+  regime - the roofline view of Section IV-C's argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.accelerator import MorphlingConfig
+from ..params import TFHEParams
+from .opcount import count_bootstrap_operations
+
+__all__ = ["RooflinePoint", "machine_balance", "workload_points", "attainable_rate"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload on the roofline: intensity and its binding resource."""
+
+    name: str
+    ops_per_byte: float
+    compute_bound: bool
+
+
+def _xpu_peak_ops(config: MorphlingConfig) -> float:
+    """Peak real multiply rate of all VPE arrays (ops/s).
+
+    Each VPE does one complex MAC per lane element per cycle: 8 lanes x
+    4 real multiplies.
+    """
+    vpes = config.num_xpus * config.vpe_rows * config.vpe_cols
+    return vpes * config.fft_lanes * 4 * config.clock_ghz * 1e9
+
+
+def _vpu_peak_ops(config: MorphlingConfig) -> float:
+    return config.vpu_macs_per_cycle * config.clock_ghz * 1e9
+
+
+def machine_balance(config: MorphlingConfig) -> dict:
+    """Balance points (ops/byte) of the XPU and VPU resource pairs."""
+    return {
+        "xpu": _xpu_peak_ops(config) / (config.xpu_bandwidth_gbs * 1e9),
+        "vpu": _vpu_peak_ops(config) / (config.vpu_bandwidth_gbs * 1e9),
+    }
+
+
+def workload_points(
+    config: MorphlingConfig, params: TFHEParams, bsk_reuse: int = 1, ksk_reuse: int = 1
+) -> list:
+    """Roofline positions of the bootstrap's two big stages.
+
+    With the default ``reuse = 1`` the points describe the raw algorithm
+    (key switching lands memory-bound); passing the scheduler's factors
+    (64/64) shows both stages crossing into the compute-bound regime.
+    """
+    ops = count_bootstrap_operations(params)
+    balance = machine_balance(config)
+    br_bytes = params.bsk_transform_bytes / bsk_reuse
+    # The VPE array does the pointwise work; transforms run on dedicated
+    # FFT pipelines, so the roofline charges the MAC stream.
+    br_intensity = ops.pointwise_ops / br_bytes
+    ks_bytes = params.ksk_bytes / ksk_reuse
+    ks_intensity = ops.key_switch_ops / ks_bytes
+    return [
+        RooflinePoint("blind_rotation", br_intensity,
+                      compute_bound=br_intensity > balance["xpu"]),
+        RooflinePoint("key_switch", ks_intensity,
+                      compute_bound=ks_intensity > balance["vpu"]),
+    ]
+
+
+def attainable_rate(
+    config: MorphlingConfig, intensity_ops_per_byte: float, unit: str = "xpu"
+) -> float:
+    """Classic roofline: min(peak, bandwidth * intensity), in ops/s."""
+    if intensity_ops_per_byte < 0:
+        raise ValueError("intensity must be non-negative")
+    if unit == "xpu":
+        peak, bw = _xpu_peak_ops(config), config.xpu_bandwidth_gbs * 1e9
+    elif unit == "vpu":
+        peak, bw = _vpu_peak_ops(config), config.vpu_bandwidth_gbs * 1e9
+    else:
+        raise ValueError(f"unknown unit {unit!r}; expected 'xpu' or 'vpu'")
+    return min(peak, bw * intensity_ops_per_byte)

@@ -1,0 +1,155 @@
+"""Encrypted database queries over TFHE (the paper's Section I motivates
+"secure database application" as an FHE workload).
+
+A server holds rows of radix-encrypted integers and answers filter +
+aggregate queries without learning values: predicates (``=``, ``<``,
+``>=``) evaluate to encrypted indicator bits via digit-wise LUT
+bootstraps; aggregation multiplies each row value by its indicator
+(one LUT per digit) and sums homomorphically.
+
+Also exported: :func:`database_query_workload`, the scheduler demand of
+a query over ``rows`` records - so Table-VI-style costing extends to the
+database domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.scheduler import LayerDemand
+from ..tfhe.integer import (
+    RadixInteger,
+    add_integers,
+    bootstrap_cost,
+    decrypt_integer,
+    encrypt_integer,
+    equals_integer,
+    less_than_integer,
+)
+from ..tfhe.lwe import LweCiphertext, lwe_add, lwe_sub
+from ..tfhe.ops import TfheContext
+from .workload import Workload
+
+__all__ = ["EncryptedTable", "database_query_workload"]
+
+_PREDICATES = ("eq", "lt", "ge")
+
+
+@dataclass
+class _Row:
+    key: RadixInteger
+    value: RadixInteger
+
+
+class EncryptedTable:
+    """A tiny encrypted key/value table supporting filtered aggregation."""
+
+    def __init__(self, ctx: TfheContext, num_digits: int = 3, digit_bits: int = 2):
+        self.ctx = ctx
+        self.num_digits = num_digits
+        self.digit_bits = digit_bits
+        self._rows = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def insert(self, key: int, value: int) -> None:
+        """Encrypt and store one record."""
+        self._rows.append(_Row(
+            encrypt_integer(self.ctx, key, self.num_digits, self.digit_bits),
+            encrypt_integer(self.ctx, value, self.num_digits, self.digit_bits),
+        ))
+
+    # ------------------------------------------------------------------
+    def _predicate_bit(self, row: _Row, predicate: str, operand: int) -> LweCiphertext:
+        ctx = self.ctx
+        enc_operand = encrypt_integer(ctx, operand, self.num_digits, self.digit_bits)
+        if predicate == "eq":
+            return equals_integer(ctx, row.key, enc_operand)
+        if predicate == "lt":
+            return less_than_integer(ctx, row.key, enc_operand)
+        if predicate == "ge":
+            return ctx.lwe_not(less_than_integer(ctx, row.key, enc_operand))
+        raise ValueError(f"unknown predicate {predicate!r}; known: {_PREDICATES}")
+
+    def _masked_value(self, row: _Row, bit: LweCiphertext) -> RadixInteger:
+        """``value if bit else 0`` - one LUT per digit.
+
+        ``digit + base*bit`` lands in [0, base) when the bit is 0 and in
+        [base, 2*base) when it is 1 - still inside the p=16 padded
+        half-space - and a single LUT selects the digit or zero.  The
+        gate-space bit (q/8) rescales into digit space (q/16) with a
+        plaintext factor of ``base/2``.
+        """
+        ctx = self.ctx
+        base = 1 << self.digit_bits
+        from ..tfhe.integer import DIGIT_P
+        from ..tfhe.lwe import lwe_scalar_mul
+
+        shift = lwe_scalar_mul(base // 2, bit) if base > 2 else bit
+        masked_digits = []
+        for digit_ct in row.value.digits:
+            moved = lwe_add(digit_ct, shift)
+            lut = [v - base if v >= base else 0 for v in range(DIGIT_P // 2)]
+            masked_digits.append(ctx.apply_lut(moved, lut, DIGIT_P))
+        return RadixInteger(masked_digits, self.digit_bits)
+
+    # ------------------------------------------------------------------
+    def count_where(self, predicate: str, operand: int) -> LweCiphertext:
+        """Encrypted count of rows matching the predicate (sum of bits)."""
+        if not self._rows:
+            raise ValueError("table is empty")
+        total = None
+        for row in self._rows:
+            bit = self._predicate_bit(row, predicate, operand)
+            total = bit if total is None else lwe_add(total, bit)
+        return total
+
+    def sum_where(self, predicate: str, operand: int) -> RadixInteger:
+        """Encrypted sum of values over rows matching the predicate."""
+        if not self._rows:
+            raise ValueError("table is empty")
+        total = None
+        for row in self._rows:
+            bit = self._predicate_bit(row, predicate, operand)
+            masked = self._masked_value(row, bit)
+            total = masked if total is None else add_integers(self.ctx, total, masked)
+        return total
+
+    # -- client-side decodes -------------------------------------------
+    def decrypt_count(self, count_ct: LweCiphertext) -> int:
+        """Decrypt a count (valid while #matches < 4, the gate space)."""
+        return self.ctx.decrypt(count_ct, 8)
+
+    def decrypt_sum(self, sum_ct: RadixInteger) -> int:
+        return decrypt_integer(self.ctx, sum_ct)
+
+
+def database_query_workload(
+    rows: int, num_digits: int = 8, aggregate: bool = True
+) -> Workload:
+    """Scheduler demand of one filtered-aggregate query over ``rows``.
+
+    All per-row predicates are independent (one parallel layer); the
+    masking LUTs form a second layer; the final addition tree costs
+    ``2 * num_digits`` bootstraps per level over ``log2(rows)`` levels.
+    """
+    if rows < 1:
+        raise ValueError("query needs at least one row")
+    predicate = rows * bootstrap_cost("less_than", num_digits)
+    layers = [LayerDemand("predicates", bootstraps=predicate)]
+    if aggregate:
+        layers.append(LayerDemand("mask-values", bootstraps=rows * num_digits))
+        level = rows
+        depth = 0
+        while level > 1:
+            level = -(-level // 2)
+            layers.append(LayerDemand(
+                f"reduce-{depth}", bootstraps=level * bootstrap_cost("add", num_digits)
+            ))
+            depth += 1
+    return Workload(
+        f"db-query-{rows}rows",
+        tuple(layers),
+        description=f"filtered aggregate over {rows} rows of {num_digits}-digit integers",
+    )

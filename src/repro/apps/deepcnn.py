@@ -1,0 +1,57 @@
+"""DeepCNN-X benchmark models (paper Section VI-A, Table VI).
+
+The paper's DeepCNN-X (X = 20, 50, 100) takes an 8x8x1 input:
+
+- 3x3 CONV, 2 filters;
+- 3x3 CONV, 92 filters, stride 2;
+- X layers of 1x1 CONV, 92 filters each (the paper notes each needs
+  368 ReLU evaluations: the 2x2x92 feature map);
+- 2x2 CONV, 16 filters;
+- FC with 10 neurons.
+
+Every activated value pays :data:`~repro.apps.nn_layers.PBS_PER_ACTIVATION`
+bootstraps; layers are sequential dependency levels.
+"""
+
+from __future__ import annotations
+
+from .nn_layers import ConvSpec, FcSpec, conv_layer_demand, fc_layer_demand
+from .workload import Workload
+
+__all__ = ["deepcnn_specs", "deepcnn_workload"]
+
+
+def deepcnn_specs(depth: int) -> list:
+    """Layer specs of DeepCNN-``depth``."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    specs = [
+        ConvSpec("conv1-3x3x2", in_hw=8, in_ch=1, out_ch=2, kernel=3),
+        ConvSpec("conv2-3x3x92-s2", in_hw=6, in_ch=2, out_ch=92, kernel=3, stride=2),
+    ]
+    hw = specs[-1].out_hw  # 2x2 feature maps through the 1x1 trunk
+    for i in range(depth):
+        specs.append(
+            ConvSpec(f"conv1x1-{i + 1}", in_hw=hw, in_ch=92, out_ch=92, kernel=1)
+        )
+    specs.append(ConvSpec("conv-last-2x2x16", in_hw=hw, in_ch=92, out_ch=16, kernel=2))
+    specs.append(FcSpec("fc-10", in_features=16, out_features=10, activated=False))
+    return specs
+
+
+def deepcnn_workload(depth: int) -> Workload:
+    """Scheduler demand of DeepCNN-``depth``."""
+    layers = []
+    for spec in deepcnn_specs(depth):
+        if isinstance(spec, ConvSpec):
+            layers.append(conv_layer_demand(spec))
+        else:
+            layers.append(fc_layer_demand(spec))
+    return Workload(
+        f"DeepCNN-{depth}",
+        tuple(layers),
+        description=(
+            f"8x8x1 input, {depth} 1x1-conv trunk layers of 92 filters "
+            "(368 ReLUs per trunk layer)"
+        ),
+    )

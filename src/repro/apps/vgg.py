@@ -1,0 +1,63 @@
+"""VGG-9 CIFAR-10 benchmark model (paper Section VI-A, Table VI).
+
+Architecture (from the paper): 32x32x3 input; six 3x3 CONV layers of 64,
+64, 128, 128, 256, 256 filters with 2x2 average pooling after the second
+and fourth; FC 512, FC 512, FC 10.
+
+Substitution note (DESIGN.md): the paper's quantized VGG-9 comes from
+Stoian et al. [43], whose exact activation/bootstrap recipe is not
+public.  Counting one PBS pair per raw activation gives ~460 k PBS, an
+order of magnitude more than the paper's reported 0.675 s can contain;
+their model evidently applies structured activation reduction (fused
+pool-activation + channel grouping).  We model that as
+``ACTIVATION_REDUCTION = 8``: one activation bootstrap pair per 8 raw
+feature-map values, calibrated once against the paper's VGG-9 runtime
+and applied uniformly.  All layer shapes, MAC counts and the layer
+dependency structure are exact.
+"""
+
+from __future__ import annotations
+
+from ..core.scheduler import LayerDemand
+from .nn_layers import PBS_PER_ACTIVATION, ConvSpec, FcSpec
+from .workload import Workload
+
+__all__ = ["ACTIVATION_REDUCTION", "vgg9_specs", "vgg9_workload"]
+
+ACTIVATION_REDUCTION = 8
+
+
+def vgg9_specs() -> list:
+    """The nine weight layers with pooling folded into the spatial dims."""
+    return [
+        ConvSpec("conv1-64", in_hw=32, in_ch=3, out_ch=64, kernel=3),
+        ConvSpec("conv2-64", in_hw=30, in_ch=64, out_ch=64, kernel=3),
+        # 2x2 average pool -> 14x14
+        ConvSpec("conv3-128", in_hw=14, in_ch=64, out_ch=128, kernel=3),
+        ConvSpec("conv4-128", in_hw=12, in_ch=128, out_ch=128, kernel=3),
+        # 2x2 average pool -> 5x5
+        ConvSpec("conv5-256", in_hw=5, in_ch=128, out_ch=256, kernel=3),
+        ConvSpec("conv6-256", in_hw=3, in_ch=256, out_ch=256, kernel=3),
+        FcSpec("fc1-512", in_features=256, out_features=512),
+        FcSpec("fc2-512", in_features=512, out_features=512),
+        FcSpec("fc3-10", in_features=512, out_features=10, activated=False),
+    ]
+
+
+def vgg9_workload() -> Workload:
+    """Scheduler demand of the VGG-9 CIFAR-10 inference."""
+    layers = []
+    for spec in vgg9_specs():
+        if spec.activated:
+            pbs = max(1, spec.activations // ACTIVATION_REDUCTION) * PBS_PER_ACTIVATION
+        else:
+            pbs = 0
+        layers.append(LayerDemand(spec.name, bootstraps=pbs, linear_macs=spec.macs))
+    return Workload(
+        "VGG-9",
+        tuple(layers),
+        description=(
+            "CIFAR-10 VGG-9 (64/64/128/128/256/256 convs + 512/512/10 FCs), "
+            f"activation reduction {ACTIVATION_REDUCTION}x per DESIGN.md"
+        ),
+    )

@@ -1,0 +1,31 @@
+"""Baselines: calibrated CPU model, published reference rows, and
+prior-accelerator-style simulator configurations."""
+
+from .accelerators import (
+    equal_resource_variants,
+    matcha_like,
+    morphling_config,
+    strix_like,
+)
+from .cpu import CpuBootstrapTime, CpuCostModel
+from .reference import (
+    TABLE_V_MORPHLING_PAPER,
+    TABLE_V_REFERENCES,
+    ReferencePoint,
+    references_for,
+    speedup_range,
+)
+
+__all__ = [
+    "CpuCostModel",
+    "CpuBootstrapTime",
+    "ReferencePoint",
+    "TABLE_V_REFERENCES",
+    "TABLE_V_MORPHLING_PAPER",
+    "references_for",
+    "speedup_range",
+    "matcha_like",
+    "strix_like",
+    "morphling_config",
+    "equal_resource_variants",
+]

@@ -1,0 +1,54 @@
+"""Prior-accelerator-style configurations expressed in our simulator.
+
+MATCHA and Strix differ from Morphling (for the Fig. 7-b study) chiefly
+in how much transform-domain reuse their datapaths capture: MATCHA is the
+No-Reuse class and Strix the Input-Reuse class, both optimized for k=1.
+The equal-resource variants here keep Morphling's unit counts and memory
+system and change only the reuse class (and merge-split availability), so
+throughput differences isolate the paper's contribution.
+"""
+
+from __future__ import annotations
+
+from ..core.accelerator import MorphlingConfig
+from ..core.reuse import ReuseType
+
+__all__ = [
+    "matcha_like",
+    "strix_like",
+    "morphling_config",
+    "equal_resource_variants",
+]
+
+
+def morphling_config(**overrides) -> MorphlingConfig:
+    """Morphling: input+output reuse, merge-split FFT."""
+    return MorphlingConfig.morphling(**overrides)
+
+
+def matcha_like(**overrides) -> MorphlingConfig:
+    """No-Reuse class with Morphling's resources (MATCHA-style datapath)."""
+    return MorphlingConfig.no_reuse(**overrides)
+
+
+def strix_like(**overrides) -> MorphlingConfig:
+    """Input-Reuse class with Morphling's resources (Strix-style datapath)."""
+    return MorphlingConfig.input_reuse(**overrides)
+
+
+def equal_resource_variants(**overrides) -> dict:
+    """The Fig. 7-b ladder: same resources, increasing reuse, then +MS-FFT.
+
+    Returns an ordered mapping; ``morphling+ms`` is the shipped design.
+    """
+    return {
+        "no-reuse": matcha_like(**overrides),
+        "input-reuse": strix_like(**overrides),
+        "input+output-reuse": MorphlingConfig(
+            name="input+output-reuse", reuse=ReuseType.INPUT_OUTPUT_REUSE,
+            merge_split=False, **overrides,
+        ),
+        "input+output-reuse+ms-fft": morphling_config(
+            name="input+output-reuse+ms-fft", **overrides
+        ),
+    }

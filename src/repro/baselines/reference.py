@@ -1,0 +1,86 @@
+"""Published reference points for Table V.
+
+The paper compares Morphling against published numbers for CPU, GPU,
+FPGA, and ASIC systems; it does not re-run them.  We embed the same rows
+(platform, parameter set, latency, throughput, and - for ASICs - area and
+power) so the Table V bench can print the identical comparison and
+compute the speedup factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ReferencePoint", "TABLE_V_REFERENCES", "references_for", "speedup_range"]
+
+
+@dataclass(frozen=True)
+class ReferencePoint:
+    """One published row of Table V."""
+
+    system: str
+    platform: str
+    param_set: str
+    latency_ms: float
+    throughput_bs: float
+    area_mm2: float = None
+    power_w: float = None
+    reuse_class: str = None  # how the paper classifies its transform reuse
+
+
+TABLE_V_REFERENCES = [
+    ReferencePoint("Concrete", "CPU", "I", 15.65, 63),
+    ReferencePoint("Concrete", "CPU", "II", 27.26, 36),
+    ReferencePoint("Concrete", "CPU", "III", 82.19, 12),
+    ReferencePoint("NuFHE", "GPU", "I", 240.00, 2500),
+    ReferencePoint("NuFHE", "GPU", "II", 420.00, 550),
+    ReferencePoint("cuda TFHE", "GPU", "IV", 66.00, 1786),
+    ReferencePoint("XHEC", "FPGA", "I", 1.15, 4000),
+    ReferencePoint("XHEC", "FPGA", "II", 1.65, 2800),
+    ReferencePoint("MATCHA", "ASIC (16 nm)", "I", 0.20, 10000,
+                   area_mm2=36.96, power_w=39.98, reuse_class="no-reuse"),
+    ReferencePoint("Strix", "ASIC (28 nm)", "I", 0.16, 74696,
+                   area_mm2=141.37, power_w=77.14, reuse_class="input-reuse"),
+    ReferencePoint("Strix", "ASIC (28 nm)", "II", 0.23, 39600,
+                   area_mm2=141.37, power_w=77.14, reuse_class="input-reuse"),
+    ReferencePoint("Strix", "ASIC (28 nm)", "III", 0.44, 21104,
+                   area_mm2=141.37, power_w=77.14, reuse_class="input-reuse"),
+]
+
+#: The paper's own Morphling rows, for regression comparison.
+TABLE_V_MORPHLING_PAPER = {
+    "I": ReferencePoint("Morphling", "ASIC (28 nm)", "I", 0.11, 147615,
+                        area_mm2=74.79, power_w=53.00, reuse_class="input+output-reuse"),
+    "II": ReferencePoint("Morphling", "ASIC (28 nm)", "II", 0.20, 78692,
+                         area_mm2=74.79, power_w=53.00, reuse_class="input+output-reuse"),
+    "III": ReferencePoint("Morphling", "ASIC (28 nm)", "III", 0.38, 41850,
+                          area_mm2=74.79, power_w=53.00, reuse_class="input+output-reuse"),
+    "IV": ReferencePoint("Morphling", "ASIC (28 nm)", "IV", 0.16, 98933,
+                         area_mm2=74.79, power_w=53.00, reuse_class="input+output-reuse"),
+}
+
+
+def references_for(system: str) -> list:
+    """All published rows of one system."""
+    rows = [r for r in TABLE_V_REFERENCES if r.system == system]
+    if not rows:
+        known = sorted({r.system for r in TABLE_V_REFERENCES})
+        raise KeyError(f"unknown system {system!r}; known: {known}")
+    return rows
+
+
+def speedup_range(morphling_throughput: dict, system: str) -> tuple:
+    """(min, max) throughput speedup of Morphling over ``system``.
+
+    ``morphling_throughput`` maps parameter-set name -> simulated BS/s;
+    only sets the reference system also reports are compared (this is
+    how the paper derives e.g. '2145-3439x over Concrete').
+    """
+    ratios = [
+        morphling_throughput[r.param_set] / r.throughput_bs
+        for r in references_for(system)
+        if r.param_set in morphling_throughput
+    ]
+    if not ratios:
+        raise ValueError(f"no overlapping parameter sets with {system}")
+    return min(ratios), max(ratios)

@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``     simulate bootstrap performance for a parameter set
+``experiments``  regenerate paper tables/figures (all or one by id)
+``area``         print the area/power breakdown of a configuration
+``workload``     cost an application workload on the accelerator model
+``demo``         run a functional encrypt/bootstrap/decrypt round-trip
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .params import PARAM_SETS, get_params
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Morphling (HPCA 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="simulate bootstrap performance")
+    sim.add_argument("--set", default="I", dest="param_set",
+                     choices=sorted(PARAM_SETS) + ["fig1"],
+                     help="TFHE parameter set (Table III)")
+    sim.add_argument("--xpus", type=int, default=4, help="number of XPUs")
+    sim.add_argument("--a1-kib", type=int, default=4096,
+                     help="Private-A1 capacity in KiB")
+    sim.add_argument("--reuse", default="input+output",
+                     choices=["none", "input", "input+output"],
+                     help="transform-domain reuse class")
+    sim.add_argument("--no-merge-split", action="store_true",
+                     help="disable the merge-split FFT")
+
+    exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    exp.add_argument("--id", default=None, dest="experiment_id",
+                     help="one experiment id (e.g. table5); default: all")
+    exp.add_argument("--list", action="store_true", help="list experiment ids")
+
+    area = sub.add_parser("area", help="area/power breakdown")
+    area.add_argument("--xpus", type=int, default=4)
+
+    wl = sub.add_parser("workload", help="cost an application workload")
+    wl.add_argument("name", choices=["xgboost", "deepcnn-20", "deepcnn-50",
+                                     "deepcnn-100", "vgg9"])
+    wl.add_argument("--set", default="III", dest="param_set",
+                    choices=sorted(PARAM_SETS))
+
+    demo = sub.add_parser("demo", help="functional encrypt/bootstrap/decrypt")
+    demo.add_argument("--message", type=int, default=3)
+    demo.add_argument("--seed", type=int, default=0)
+
+    trace = sub.add_parser("trace", help="render the XPU pipeline timeline")
+    trace.add_argument("--set", default="I", dest="param_set",
+                       choices=sorted(PARAM_SETS))
+    trace.add_argument("--iterations", type=int, default=5)
+    trace.add_argument("--reuse", default="input+output",
+                       choices=["none", "input", "input+output"])
+    trace.add_argument("--no-merge-split", action="store_true")
+    return parser
+
+
+def _config_from_args(args) -> "MorphlingConfig":
+    from .core.accelerator import MorphlingConfig
+    from .core.reuse import ReuseType
+
+    reuse = {
+        "none": ReuseType.NO_REUSE,
+        "input": ReuseType.INPUT_REUSE,
+        "input+output": ReuseType.INPUT_OUTPUT_REUSE,
+    }[args.reuse]
+    return MorphlingConfig(
+        num_xpus=args.xpus,
+        private_a1_bytes=args.a1_kib * 1024,
+        reuse=reuse,
+        merge_split=not args.no_merge_split,
+    )
+
+
+def _cmd_simulate(args) -> int:
+    from .core.simulator import simulate_bootstrap
+
+    report = simulate_bootstrap(_config_from_args(args), get_params(args.param_set))
+    print(f"parameter set {args.param_set}:")
+    print(f"  bootstrap latency : {report.bootstrap_latency_ms:.3f} ms")
+    print(f"  throughput        : {report.throughput_bs:,.0f} bootstraps/s")
+    print(f"  bottleneck        : {report.bottleneck}")
+    print(f"  scheduler group   : {report.group_size} ciphertexts "
+          f"({report.acc_streams} resident streams)")
+    print(f"  BSK/KSK reuse     : {report.bsk_reuse}x / {report.ksk_reuse}x")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from .experiments import ALL_EXPERIMENTS
+
+    if args.list:
+        for exp_id in ALL_EXPERIMENTS:
+            print(exp_id)
+        return 0
+    if args.experiment_id is not None:
+        try:
+            runner = ALL_EXPERIMENTS[args.experiment_id]
+        except KeyError:
+            print(f"unknown experiment {args.experiment_id!r}; "
+                  f"known: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        print(runner().to_text())
+        return 0
+    for runner in ALL_EXPERIMENTS.values():
+        print(runner().to_text())
+        print()
+    return 0
+
+
+def _cmd_area(args) -> int:
+    from .core.accelerator import MorphlingConfig
+    from .core.area_power import AreaPowerModel
+
+    model = AreaPowerModel(MorphlingConfig(num_xpus=args.xpus))
+    for name, cost in model.breakdown().items():
+        print(f"  {name:32s} {cost.area_mm2:7.2f} mm^2  {cost.power_w:6.2f} W")
+    total = model.total()
+    print(f"  {'Total':32s} {total.area_mm2:7.2f} mm^2  {total.power_w:6.2f} W")
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from .apps import deepcnn_workload, vgg9_workload, xgboost_workload
+    from .baselines import CpuCostModel
+    from .core.accelerator import MorphlingConfig
+    from .core.scheduler import run_workload
+
+    factories = {
+        "xgboost": xgboost_workload,
+        "deepcnn-20": lambda: deepcnn_workload(20),
+        "deepcnn-50": lambda: deepcnn_workload(50),
+        "deepcnn-100": lambda: deepcnn_workload(100),
+        "vgg9": vgg9_workload,
+    }
+    workload = factories[args.name]()
+    params = get_params(args.param_set)
+    result = run_workload(MorphlingConfig(), params, list(workload.layers))
+    cpu_s = CpuCostModel().workload_seconds(
+        params, workload.total_bootstraps, workload.total_linear_macs
+    )
+    print(workload.summary())
+    print(f"  Morphling : {result.total_seconds:.3f} s "
+          f"(XPU utilization {result.utilization['xpu']:.0%})")
+    print(f"  64-core CPU: {cpu_s:.2f} s")
+    print(f"  speedup    : {cpu_s / result.total_seconds:.0f}x")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from .tfhe.ops import TfheContext
+
+    ctx = TfheContext.create(get_params("test"), seed=args.seed)
+    if not 0 <= args.message < 4:
+        print("message must be in [0, 4)", file=sys.stderr)
+        return 2
+    ct = ctx.encrypt(args.message)
+    refreshed = ctx.bootstrap(ct)
+    print(f"encrypted {args.message} -> bootstrap -> decrypted "
+          f"{ctx.decrypt(refreshed)}")
+    a, b = ctx.encrypt(1), ctx.encrypt(args.message % 2)
+    print(f"NAND(1, {args.message % 2}) = {ctx.decrypt(ctx.gate('nand', a, b))}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .core.trace import render_timeline, trace_blind_rotation
+    from .core.xpu import XpuModel
+
+    config = _config_from_args_for_trace(args)
+    params = get_params(args.param_set)
+    trace = trace_blind_rotation(config, params, iterations=args.iterations)
+    print(render_timeline(trace))
+    analytic = XpuModel(config, params).iteration_cycles()
+    print(f"steady state: {trace.steady_state_interval():.0f} cycles/iteration "
+          f"(analytic {analytic:.0f}); bottleneck: {trace.bottleneck()}")
+    return 0
+
+
+def _config_from_args_for_trace(args) -> "MorphlingConfig":
+    from .core.accelerator import MorphlingConfig
+    from .core.reuse import ReuseType
+
+    reuse = {
+        "none": ReuseType.NO_REUSE,
+        "input": ReuseType.INPUT_REUSE,
+        "input+output": ReuseType.INPUT_OUTPUT_REUSE,
+    }[args.reuse]
+    return MorphlingConfig(reuse=reuse, merge_split=not args.no_merge_split)
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "experiments": _cmd_experiments,
+    "area": _cmd_area,
+    "workload": _cmd_workload,
+    "demo": _cmd_demo,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,176 @@
+"""Analytical area/power model calibrated to Table IV (TSMC 28 nm, 1.2 GHz).
+
+The paper reports a per-component breakdown of the shipped configuration;
+we turn it into *unit* costs (one FFT, one VPE, one MB of buffer, ...) so
+any :class:`~repro.core.accelerator.MorphlingConfig` can be priced - which
+is what lets the ablation benches reason about equal-resource variants and
+XPU-count sweeps.  At the default configuration the model reproduces
+Table IV to rounding.
+
+Unit costs are exact divisions of the published numbers:
+
+===================  ===========================  =====================
+component            area (mm^2)                  power (W)
+===================  ===========================  =====================
+decomposition unit   0.01 / 4                     0.0025 (from <0.01)
+FFT unit             1.22 / 2                     0.91 / 2
+Coef buffer          0.06 / 2                     0.03 / 2
+twiddle buffer       0.75                         0.37
+VPE                  4.71 / 16                    3.13 / 16
+IFFT unit            2.45 / 4                     1.82 / 4
+VPU lane             0.22 / 128                   0.13 / 128
+NoC (per XPU port)   0.21 / 4                     0.17 / 4
+SRAM per MB          Private-A1: 8.31 / 4, ...    per-buffer, see code
+HBM2e PHY            14.90 (fixed per stack)      15.90
+===================  ===========================  =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .accelerator import MorphlingConfig
+
+__all__ = ["ComponentCost", "AreaPowerModel", "TABLE_IV_PAPER"]
+
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """Area (mm^2) and power (W) of one component instance or group."""
+
+    area_mm2: float
+    power_w: float
+
+    def __mul__(self, count: float) -> "ComponentCost":
+        return ComponentCost(self.area_mm2 * count, self.power_w * count)
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: "ComponentCost") -> "ComponentCost":
+        return ComponentCost(self.area_mm2 + other.area_mm2, self.power_w + other.power_w)
+
+
+# Unit costs derived from Table IV (per instance / per MB).
+_UNIT = {
+    "decomposition": ComponentCost(0.01 / 4, 0.0025),
+    "fft": ComponentCost(1.22 / 2, 0.91 / 2),
+    "coef_buffer": ComponentCost(0.06 / 2, 0.03 / 2),
+    "twiddle_buffer": ComponentCost(0.75, 0.37),
+    "vpe": ComponentCost(4.71 / 16, 3.13 / 16),
+    "ifft": ComponentCost(2.45 / 4, 1.82 / 4),
+    "vpu_lane": ComponentCost(0.22 / 128, 0.13 / 128),
+    "noc_port": ComponentCost(0.21 / 4, 0.17 / 4),
+    "sram_a1_per_mb": ComponentCost(8.31 / 4, 4.27 / 4),
+    "sram_a2_per_mb": ComponentCost(8.10 / 4, 3.99 / 4),
+    "sram_b_per_mb": ComponentCost(4.05 / 2, 2.42 / 2),
+    "sram_shared_per_mb": ComponentCost(2.02 / 1, 0.99 / 1),
+    "hbm_phy": ComponentCost(14.90, 15.90),
+}
+
+#: The paper's Table IV totals, for regression checks.
+TABLE_IV_PAPER = {
+    "xpu": ComponentCost(9.23, 6.23),
+    "4x_xpu": ComponentCost(36.95, 25.11),
+    "vpu": ComponentCost(0.22, 0.13),
+    "noc": ComponentCost(0.21, 0.17),
+    "private_a1": ComponentCost(8.31, 4.27),
+    "private_a2": ComponentCost(8.10, 3.99),
+    "private_b": ComponentCost(4.05, 2.42),
+    "shared": ComponentCost(2.02, 0.99),
+    "hbm_phy": ComponentCost(14.90, 15.90),
+    "total": ComponentCost(74.79, 53.00),
+}
+
+
+class AreaPowerModel:
+    """Price a Morphling configuration."""
+
+    def __init__(self, config: MorphlingConfig):
+        self.config = config
+
+    # -- per-block costs ------------------------------------------------
+    def xpu_cost(self) -> ComponentCost:
+        """One XPU: decomposition units, FFTs (+Coef), twiddles, VPEs, IFFTs."""
+        cfg = self.config
+        return (
+            cfg.decomp_units_per_xpu * _UNIT["decomposition"]
+            + cfg.fft_units_per_xpu * _UNIT["fft"]
+            + cfg.fft_units_per_xpu * _UNIT["coef_buffer"]
+            + _UNIT["twiddle_buffer"]
+            + cfg.vpe_rows * cfg.vpe_cols * _UNIT["vpe"]
+            + cfg.ifft_units_per_xpu * _UNIT["ifft"]
+        )
+
+    def vpu_cost(self) -> ComponentCost:
+        return self.config.vpu_lanes * _UNIT["vpu_lane"]
+
+    def noc_cost(self) -> ComponentCost:
+        return self.config.num_xpus * _UNIT["noc_port"]
+
+    def buffer_cost(self) -> ComponentCost:
+        cfg = self.config
+        return (
+            (cfg.private_a1_bytes / MIB) * _UNIT["sram_a1_per_mb"]
+            + (cfg.private_a2_bytes / MIB) * _UNIT["sram_a2_per_mb"]
+            + (cfg.private_b_bytes / MIB) * _UNIT["sram_b_per_mb"]
+            + (cfg.shared_bytes / MIB) * _UNIT["sram_shared_per_mb"]
+        )
+
+    def hbm_cost(self) -> ComponentCost:
+        return _UNIT["hbm_phy"]
+
+    # -- rollups ----------------------------------------------------------
+    def breakdown(self) -> dict:
+        """Component table in the same rows as Table IV."""
+        cfg = self.config
+        xpu = self.xpu_cost()
+        rows = {
+            f"{cfg.decomp_units_per_xpu}x Decomposition Unit":
+                cfg.decomp_units_per_xpu * _UNIT["decomposition"],
+            f"{cfg.fft_units_per_xpu}x FFT": cfg.fft_units_per_xpu * _UNIT["fft"],
+            f"{cfg.fft_units_per_xpu}x Coef-Buffer":
+                cfg.fft_units_per_xpu * _UNIT["coef_buffer"],
+            "Twiddle-Buffer": _UNIT["twiddle_buffer"],
+            f"{cfg.vpe_rows}x{cfg.vpe_cols} VPE Array":
+                cfg.vpe_rows * cfg.vpe_cols * _UNIT["vpe"],
+            f"{cfg.ifft_units_per_xpu}x IFFT": cfg.ifft_units_per_xpu * _UNIT["ifft"],
+            "XPU": xpu,
+            f"{cfg.num_xpus}x XPU": cfg.num_xpus * xpu,
+            "VPU": self.vpu_cost(),
+            "NoC": self.noc_cost(),
+            f"Private-A1 Buffer ({cfg.private_a1_bytes // MIB} MB)":
+                (cfg.private_a1_bytes / MIB) * _UNIT["sram_a1_per_mb"],
+            f"Private-A2 Buffer ({cfg.private_a2_bytes // MIB} MB)":
+                (cfg.private_a2_bytes / MIB) * _UNIT["sram_a2_per_mb"],
+            f"Private-B Buffer ({cfg.private_b_bytes // MIB} MB)":
+                (cfg.private_b_bytes / MIB) * _UNIT["sram_b_per_mb"],
+            f"Shared Buffer ({cfg.shared_bytes // MIB} MB)":
+                (cfg.shared_bytes / MIB) * _UNIT["sram_shared_per_mb"],
+            "HBM2e PHY": self.hbm_cost(),
+        }
+        return rows
+
+    def total(self) -> ComponentCost:
+        cfg = self.config
+        return (
+            cfg.num_xpus * self.xpu_cost()
+            + self.vpu_cost()
+            + self.noc_cost()
+            + self.buffer_cost()
+            + self.hbm_cost()
+        )
+
+    # -- derived efficiency metrics ---------------------------------------
+    def energy_per_bootstrap_mj(self, throughput_bs: float) -> float:
+        """Millijoules per bootstrap at the given throughput."""
+        if throughput_bs <= 0:
+            raise ValueError("throughput must be positive")
+        return self.total().power_w / throughput_bs * 1e3
+
+    def throughput_per_mm2(self, throughput_bs: float) -> float:
+        """Bootstraps per second per mm^2 of die."""
+        if throughput_bs <= 0:
+            raise ValueError("throughput must be positive")
+        return throughput_bs / self.total().area_mm2

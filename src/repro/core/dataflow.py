@@ -1,0 +1,89 @@
+"""Dataflow ablation: ACC-output vs ACC-input vs BSK stationary (Section IV-B).
+
+The paper picks the ACC-output-stationary dataflow for the VPE array and
+argues the alternatives are worse on two axes:
+
+1. *Buffer pressure*: input- and BSK-stationary keep the output partial
+   sums in Private-A1 - and because Morphling accumulates in the
+   transform domain, those partial sums are transform-domain data (two
+   32-bit words per point, ``(k+1)*l_b`` live columns worth per
+   ciphertext during the dot product), roughly doubling the working set
+   vs the coefficient-domain ACC.
+2. *External bandwidth*: BSK-stationary pins BSK_i on chip and streams
+   the ACC of *every resident ciphertext* in and out per iteration,
+   which multiplies the off-chip ciphertext traffic.
+
+This module quantifies both so the ablation bench can rank the options.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..params import TFHEParams
+from .accelerator import MorphlingConfig
+
+__all__ = ["Dataflow", "DataflowCost", "dataflow_cost", "rank_dataflows"]
+
+
+class Dataflow(enum.Enum):
+    OUTPUT_STATIONARY = "acc-output-stationary"
+    INPUT_STATIONARY = "acc-input-stationary"
+    BSK_STATIONARY = "bsk-stationary"
+
+
+@dataclass(frozen=True)
+class DataflowCost:
+    """Per-ciphertext costs of one dataflow choice."""
+
+    dataflow: Dataflow
+    a1_bytes_per_ciphertext: int
+    external_bytes_per_iteration: int
+
+    def dominates(self, other: "DataflowCost") -> bool:
+        """True when no worse on both axes and better on at least one."""
+        no_worse = (
+            self.a1_bytes_per_ciphertext <= other.a1_bytes_per_ciphertext
+            and self.external_bytes_per_iteration <= other.external_bytes_per_iteration
+        )
+        better = (
+            self.a1_bytes_per_ciphertext < other.a1_bytes_per_ciphertext
+            or self.external_bytes_per_iteration < other.external_bytes_per_iteration
+        )
+        return no_worse and better
+
+
+def dataflow_cost(
+    dataflow: Dataflow, config: MorphlingConfig, params: TFHEParams
+) -> DataflowCost:
+    """Buffer and bandwidth cost of one dataflow."""
+    p = params
+    coeff_acc = p.glwe_bytes  # (k+1) polynomials, 4 B/coefficient
+    # Transform-domain partial sums: (k+1) output columns x N/2 complex
+    # points x 8 B, i.e. twice the coefficient image.
+    spectrum_acc = (p.k + 1) * (p.N // 2) * 8
+    bsk_i_bytes = p.polynomials_per_ggsw * p.N * p.coeff_bytes
+
+    if dataflow is Dataflow.OUTPUT_STATIONARY:
+        # ACC stays in POLY-ACC-REG; A1 keeps only the coefficient ACC.
+        return DataflowCost(dataflow, coeff_acc, bsk_i_bytes)
+    if dataflow is Dataflow.INPUT_STATIONARY:
+        # The transform-domain partial sums round-trip through A1.
+        return DataflowCost(dataflow, coeff_acc + spectrum_acc, bsk_i_bytes)
+    if dataflow is Dataflow.BSK_STATIONARY:
+        # BSK_i is pinned; every resident ciphertext's ACC (plus its
+        # transform-domain partial sums) streams per iteration.
+        per_cipher = coeff_acc + spectrum_acc
+        external = config.bootstrap_cores * 2 * coeff_acc
+        return DataflowCost(dataflow, per_cipher, external)
+    raise ValueError(f"unknown dataflow: {dataflow}")
+
+
+def rank_dataflows(config: MorphlingConfig, params: TFHEParams) -> list:
+    """All three dataflow costs, best (paper's choice) first."""
+    costs = [dataflow_cost(d, config, params) for d in Dataflow]
+    return sorted(
+        costs,
+        key=lambda c: (c.a1_bytes_per_ciphertext, c.external_bytes_per_iteration),
+    )

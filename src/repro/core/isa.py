@@ -1,0 +1,126 @@
+"""Custom instruction set for the XPU, VPU and DMA engines (Section V-E).
+
+The SW-scheduler lowers an application into three instruction streams;
+the HW-scheduler dispatches them respecting the declared dependencies.
+Instructions are deliberately coarse-grained - one XPU instruction is a
+whole blind rotation of a resident batch - matching the granularity the
+paper schedules at (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Engine",
+    "XpuOp",
+    "VpuOp",
+    "DmaOp",
+    "Instruction",
+    "InstructionStream",
+]
+
+
+class Engine(enum.Enum):
+    XPU = "xpu"
+    VPU = "vpu"
+    DMA = "dma"
+
+
+class XpuOp(enum.Enum):
+    BLIND_ROTATE = "blind_rotate"
+
+
+class VpuOp(enum.Enum):
+    MODULUS_SWITCH = "modulus_switch"
+    SAMPLE_EXTRACT = "sample_extract"
+    KEY_SWITCH = "key_switch"
+    P_ALU = "p_alu"
+
+
+class DmaOp(enum.Enum):
+    LOAD_LWE = "load_lwe"
+    LOAD_BSK = "load_bsk"
+    LOAD_KSK = "load_ksk"
+    LOAD_TEST_POLY = "load_test_poly"
+    STORE_LWE = "store_lwe"
+
+
+_OP_ENGINES = {
+    **{op: Engine.XPU for op in XpuOp},
+    **{op: Engine.VPU for op in VpuOp},
+    **{op: Engine.DMA for op in DmaOp},
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One scheduled operation.
+
+    ``count`` is the number of ciphertexts the op covers (batch size for
+    XPU/VPU ops); ``data_bytes`` the DMA payload; ``macs`` the P-ALU work.
+    ``depends_on`` lists instruction ids that must retire first.
+    """
+
+    inst_id: int
+    op: object
+    group: int
+    count: int = 0
+    data_bytes: int = 0
+    macs: int = 0
+    depends_on: tuple = ()
+
+    @property
+    def engine(self) -> Engine:
+        return _OP_ENGINES[self.op]
+
+    def __post_init__(self) -> None:
+        if self.op not in _OP_ENGINES:
+            raise ValueError(f"unknown opcode: {self.op!r}")
+        if self.count < 0 or self.data_bytes < 0 or self.macs < 0:
+            raise ValueError("instruction sizes must be non-negative")
+
+
+class InstructionStream:
+    """An append-only, dependency-checked instruction list."""
+
+    def __init__(self):
+        self._instructions = []
+        self._ids = itertools.count()
+        self._known_ids = set()
+
+    def emit(self, op, group: int, depends_on=(), **sizes) -> Instruction:
+        """Append an instruction; dependencies must already exist."""
+        deps = tuple(depends_on)
+        for d in deps:
+            if d not in self._known_ids:
+                raise ValueError(f"dependency {d} not yet emitted")
+        inst = Instruction(next(self._ids), op, group, depends_on=deps, **sizes)
+        self._instructions.append(inst)
+        self._known_ids.add(inst.inst_id)
+        return inst
+
+    def __iter__(self):
+        return iter(self._instructions)
+
+    def __len__(self):
+        return len(self._instructions)
+
+    def by_engine(self, engine: Engine) -> list:
+        return [i for i in self._instructions if i.engine is engine]
+
+    def groups(self) -> list:
+        return sorted({i.group for i in self._instructions})
+
+    def validate_dependencies(self) -> None:
+        """Check the stream is a DAG in emission order (deps point backwards)."""
+        seen = set()
+        for inst in self._instructions:
+            for d in inst.depends_on:
+                if d not in seen:
+                    raise ValueError(
+                        f"instruction {inst.inst_id} depends on unretired {d}"
+                    )
+            seen.add(inst.inst_id)

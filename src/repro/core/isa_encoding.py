@@ -1,0 +1,117 @@
+"""Binary encoding of the custom instruction streams (Section V-E).
+
+The SW-scheduler emits instruction objects; a real deployment ships them
+to the accelerator as a binary stream.  This module defines that wire
+format and proves it lossless:
+
+record layout (little-endian)::
+
+    u8  engine      (1 = XPU, 2 = VPU, 3 = DMA)
+    u8  opcode      (per-engine opcode table below)
+    u16 group
+    u32 count       (ciphertexts covered)
+    u64 payload     (DMA bytes, or P-ALU MACs)
+    u16 n_deps
+    u16 reserved    (zero)
+    u32 inst_id
+    u32 x n_deps    dependency instruction ids
+
+``encode_stream``/``decode_stream`` round-trip whole programs;
+``stream_size_bytes`` reports the instruction-fetch footprint the DMA
+model charges.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .isa import DmaOp, Engine, Instruction, InstructionStream, VpuOp, XpuOp
+
+__all__ = [
+    "encode_instruction",
+    "decode_instruction",
+    "encode_stream",
+    "decode_stream",
+    "stream_size_bytes",
+]
+
+_HEADER = struct.Struct("<BBHIQHHI")
+
+_ENGINE_CODES = {Engine.XPU: 1, Engine.VPU: 2, Engine.DMA: 3}
+_ENGINE_FROM_CODE = {v: k for k, v in _ENGINE_CODES.items()}
+
+_OPCODE_TABLES = {
+    Engine.XPU: list(XpuOp),
+    Engine.VPU: list(VpuOp),
+    Engine.DMA: list(DmaOp),
+}
+
+
+def _opcode_of(inst: Instruction) -> int:
+    return _OPCODE_TABLES[inst.engine].index(inst.op)
+
+
+def encode_instruction(inst: Instruction) -> bytes:
+    """Serialize one instruction to its binary record."""
+    payload = inst.data_bytes or inst.macs
+    header = _HEADER.pack(
+        _ENGINE_CODES[inst.engine],
+        _opcode_of(inst),
+        inst.group,
+        inst.count,
+        payload,
+        len(inst.depends_on),
+        0,
+        inst.inst_id,
+    )
+    deps = struct.pack(f"<{len(inst.depends_on)}I", *inst.depends_on)
+    return header + deps
+
+
+def decode_instruction(data: bytes, offset: int = 0) -> tuple:
+    """Decode one record; returns ``(Instruction, next_offset)``."""
+    if len(data) - offset < _HEADER.size:
+        raise ValueError("truncated instruction record")
+    (engine_code, opcode, group, count, payload,
+     n_deps, reserved, inst_id) = _HEADER.unpack_from(data, offset)
+    if reserved != 0:
+        raise ValueError("corrupt record: reserved field set")
+    try:
+        engine = _ENGINE_FROM_CODE[engine_code]
+        op = _OPCODE_TABLES[engine][opcode]
+    except (KeyError, IndexError):
+        raise ValueError(
+            f"unknown engine/opcode pair ({engine_code}, {opcode})"
+        ) from None
+    offset += _HEADER.size
+    if len(data) - offset < 4 * n_deps:
+        raise ValueError("truncated dependency list")
+    deps = struct.unpack_from(f"<{n_deps}I", data, offset)
+    offset += 4 * n_deps
+    sizes = {}
+    if engine is Engine.DMA:
+        sizes["data_bytes"] = payload
+    elif op is VpuOp.P_ALU:
+        sizes["macs"] = payload
+    inst = Instruction(inst_id, op, group, count=count, depends_on=deps, **sizes)
+    return inst, offset
+
+
+def encode_stream(stream: InstructionStream) -> bytes:
+    """Serialize a whole program (preserving emission order)."""
+    return b"".join(encode_instruction(inst) for inst in stream)
+
+
+def decode_stream(data: bytes) -> list:
+    """Decode a binary program back into instruction objects."""
+    out = []
+    offset = 0
+    while offset < len(data):
+        inst, offset = decode_instruction(data, offset)
+        out.append(inst)
+    return out
+
+
+def stream_size_bytes(stream: InstructionStream) -> int:
+    """Instruction-fetch footprint of a program."""
+    return sum(_HEADER.size + 4 * len(inst.depends_on) for inst in stream)

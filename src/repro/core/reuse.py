@@ -1,0 +1,122 @@
+"""Transform-domain reuse analysis (paper Sections III and IV-B, Figure 3).
+
+The external product multiplies the decomposed ACC vector (``(k+1)*l_b``
+polynomials) by the BSK matrix (``(k+1)*l_b x (k+1)`` polynomials).  How
+many domain transforms one blind-rotation iteration needs depends on what
+the VPE array shares:
+
+- ``NO_REUSE`` (MATCHA-style): every VPE transforms its own input and
+  output: ``(k+1)^2 * l_b`` forward + ``(k+1)^2 * l_b`` inverse.
+- ``INPUT_REUSE`` (Strix-style): a decomposed-input transform is shared
+  across the row (each input polynomial multiplies all ``k+1`` BSK
+  columns), but every product still leaves the transform domain:
+  ``(k+1)*l_b`` forward + ``(k+1)^2 * l_b`` inverse.
+- ``INPUT_OUTPUT_REUSE`` (Morphling): additionally exploit IFFT linearity
+  to accumulate each output column entirely in the transform domain
+  (POLY-ACC-REG): ``(k+1)*l_b`` forward + ``(k+1)`` inverse.
+
+All Figure 3 numbers are exact consequences of these three formulas; e.g.
+parameter set C (n=487, k=3, l_b=3) gives 487 * 96 = 46,752 transforms
+with no reuse and an 83.3 % reduction with input+output reuse.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..params import TFHEParams
+
+__all__ = [
+    "ReuseType",
+    "TransformCounts",
+    "transforms_per_external_product",
+    "transforms_per_bootstrap",
+    "reduction_vs_no_reuse",
+    "acc_input_reuse_factor",
+    "acc_output_reuse_factor",
+    "bsk_reuse_factor",
+]
+
+
+class ReuseType(enum.Enum):
+    """Which transform-domain data the VPE array shares."""
+
+    NO_REUSE = "no-reuse"
+    INPUT_REUSE = "input-reuse"
+    INPUT_OUTPUT_REUSE = "input+output-reuse"
+
+
+@dataclass(frozen=True)
+class TransformCounts:
+    """Forward/inverse transform counts for one external product."""
+
+    forward: int
+    inverse: int
+
+    @property
+    def total(self) -> int:
+        return self.forward + self.inverse
+
+
+def transforms_per_external_product(k: int, l_b: int, reuse: ReuseType) -> TransformCounts:
+    """Domain transforms one external product needs under ``reuse``."""
+    if k < 1 or l_b < 1:
+        raise ValueError("k and l_b must be >= 1")
+    inputs = (k + 1) * l_b
+    products = (k + 1) * (k + 1) * l_b
+    outputs = k + 1
+    if reuse is ReuseType.NO_REUSE:
+        return TransformCounts(forward=products, inverse=products)
+    if reuse is ReuseType.INPUT_REUSE:
+        return TransformCounts(forward=inputs, inverse=products)
+    if reuse is ReuseType.INPUT_OUTPUT_REUSE:
+        return TransformCounts(forward=inputs, inverse=outputs)
+    raise ValueError(f"unknown reuse type: {reuse}")
+
+
+def transforms_per_bootstrap(params: TFHEParams, reuse: ReuseType) -> TransformCounts:
+    """Domain transforms one full blind rotation (``n`` iterations) needs."""
+    per_iter = transforms_per_external_product(params.k, params.l_b, reuse)
+    return TransformCounts(
+        forward=params.n * per_iter.forward,
+        inverse=params.n * per_iter.inverse,
+    )
+
+
+def reduction_vs_no_reuse(k: int, l_b: int, reuse: ReuseType) -> float:
+    """Fractional reduction in transforms relative to NO_REUSE (Fig. 3)."""
+    base = transforms_per_external_product(k, l_b, ReuseType.NO_REUSE).total
+    this = transforms_per_external_product(k, l_b, reuse).total
+    return 1.0 - this / base
+
+
+def acc_input_reuse_factor(k: int) -> int:
+    """How many times one decomposed ACC-input transform is reused.
+
+    Each decomposed polynomial multiplies every one of the ``k+1`` BSK
+    columns (Section IV-B).
+    """
+    return k + 1
+
+
+def acc_output_reuse_factor(k: int, l_b: int) -> int:
+    """How many partial sums accumulate into one ACC-output transform.
+
+    Each output column is a dot product over the ``(k+1)*l_b`` decomposed
+    inputs, so the transform-domain accumulator is reused that many times.
+    """
+    return (k + 1) * l_b
+
+
+def bsk_reuse_factor(vpe_rows: int, num_xpus: int, acc_streams: int) -> int:
+    """Ciphertexts sharing one BSK fetch (Section IV-C).
+
+    BSK reuse is only available *across* ciphertexts: down a VPE column
+    (``vpe_rows``), across XPUs (``num_xpus``), and across consecutive
+    ciphertext streams resident in the Private-A1 buffer (``acc_streams``).
+    Morphling's default 4 x 4 x 4 = 64.
+    """
+    if min(vpe_rows, num_xpus, acc_streams) < 1:
+        raise ValueError("all reuse dimensions must be >= 1")
+    return vpe_rows * num_xpus * acc_streams

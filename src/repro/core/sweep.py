@@ -1,0 +1,91 @@
+"""Design-space sweep utility over MorphlingConfig knobs.
+
+Wraps the simulator in a cartesian sweep: give it axes (config field ->
+list of values) and a parameter set, get an
+:class:`~repro.experiments.common.ExperimentResult`-style table of
+throughput/latency/bottleneck per point, plus Pareto filtering against
+the area model.  The Fig. 8 drivers are one-axis instances of this; the
+design-space example uses the general form.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..params import TFHEParams
+from .accelerator import MorphlingConfig
+from .area_power import AreaPowerModel
+from .simulator import simulate_bootstrap
+
+__all__ = ["SweepPoint", "sweep", "pareto_frontier"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated configuration."""
+
+    overrides: tuple  # ((field, value), ...)
+    throughput_bs: float
+    latency_ms: float
+    bottleneck: str
+    area_mm2: float
+    power_w: float
+
+    @property
+    def throughput_per_mm2(self) -> float:
+        return self.throughput_bs / self.area_mm2
+
+    @property
+    def label(self) -> str:
+        return ", ".join(f"{k}={v}" for k, v in self.overrides)
+
+
+def sweep(axes: dict, params: TFHEParams, base: MorphlingConfig = None) -> list:
+    """Evaluate every point of the cartesian product of ``axes``.
+
+    ``axes`` maps MorphlingConfig field names to value lists.  Points
+    whose combination fails config validation are skipped (e.g. channel
+    splits that oversubscribe the stack).
+    """
+    if not axes:
+        raise ValueError("sweep needs at least one axis")
+    base = base or MorphlingConfig()
+    names = list(axes)
+    points = []
+    for values in itertools.product(*(axes[n] for n in names)):
+        overrides = dict(zip(names, values))
+        try:
+            config = base.with_overrides(**overrides)
+        except ValueError:
+            continue
+        report = simulate_bootstrap(config, params)
+        cost = AreaPowerModel(config).total()
+        points.append(SweepPoint(
+            overrides=tuple(overrides.items()),
+            throughput_bs=report.throughput_bs,
+            latency_ms=report.bootstrap_latency_ms,
+            bottleneck=report.bottleneck,
+            area_mm2=cost.area_mm2,
+            power_w=cost.power_w,
+        ))
+    return points
+
+
+def pareto_frontier(points: list) -> list:
+    """Points not dominated on (throughput up, area down).
+
+    A point is dominated when another has >= throughput and <= area with
+    at least one strict; the frontier is returned sorted by area.
+    """
+    frontier = []
+    for p in points:
+        dominated = any(
+            q.throughput_bs >= p.throughput_bs
+            and q.area_mm2 <= p.area_mm2
+            and (q.throughput_bs > p.throughput_bs or q.area_mm2 < p.area_mm2)
+            for q in points
+        )
+        if not dominated:
+            frontier.append(p)
+    return sorted(frontier, key=lambda p: p.area_mm2)

@@ -1,0 +1,137 @@
+"""Cycle-level pipeline trace of the XPU during blind rotation.
+
+Timing models report aggregates; the trace shows the pipeline itself:
+per-iteration start/end cycles of every stage (rotation, decomposition,
+forward FFT, VPE MACs, inverse FFT), with stage overlap across
+iterations - the picture a waveform viewer would give for the RTL.
+
+Used three ways:
+
+- regression: the traced steady-state iteration interval must equal the
+  analytic :meth:`~repro.core.xpu.XpuModel.iteration_cycles`;
+- analysis: per-stage occupancy (how busy each unit is) exposes the
+  bottleneck the same way Fig. 7's discussion does;
+- rendering: :func:`render_timeline` draws an ASCII pipeline diagram
+  for documentation and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import TFHEParams
+from .accelerator import MorphlingConfig
+from .xpu import XpuModel
+
+__all__ = ["StageSpan", "PipelineTrace", "trace_blind_rotation", "render_timeline"]
+
+STAGES = ("rotation", "decomposition", "forward_fft", "vpe_stream", "inverse_fft")
+
+
+@dataclass(frozen=True)
+class StageSpan:
+    """One stage's busy interval during one iteration."""
+
+    iteration: int
+    stage: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class PipelineTrace:
+    """All stage spans of a traced blind rotation."""
+
+    spans: list
+    iterations: int
+    config: MorphlingConfig
+    params: TFHEParams
+
+    def stage_spans(self, stage: str) -> list:
+        if stage not in STAGES:
+            raise KeyError(f"unknown stage {stage!r}; known: {STAGES}")
+        return [s for s in self.spans if s.stage == stage]
+
+    def total_cycles(self) -> float:
+        return max(s.end for s in self.spans) if self.spans else 0.0
+
+    def steady_state_interval(self) -> float:
+        """Cycles between consecutive iterations' completions (steady state)."""
+        ends = sorted(s.end for s in self.stage_spans("inverse_fft"))
+        if len(ends) < 3:
+            raise ValueError("need at least 3 iterations for a steady-state read")
+        return ends[-1] - ends[-2]
+
+    def occupancy(self) -> dict:
+        """Fraction of the traced window each stage spends busy."""
+        total = self.total_cycles()
+        return {
+            stage: sum(s.duration for s in self.stage_spans(stage)) / total
+            for stage in STAGES
+        }
+
+    def bottleneck(self) -> str:
+        occ = self.occupancy()
+        return max(occ, key=occ.get)
+
+
+def trace_blind_rotation(
+    config: MorphlingConfig, params: TFHEParams, iterations: int = 8
+) -> PipelineTrace:
+    """Trace ``iterations`` blind-rotation iterations through the pipeline.
+
+    Stage durations come from the calibrated
+    :class:`~repro.core.xpu.XpuModel` breakdown; the trace plays them as
+    a five-deep in-order pipeline: each stage of iteration ``i`` starts
+    when both its own unit is free (its previous iteration ended) and
+    its upstream stage of the same iteration has finished.
+    """
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    model = XpuModel(config, params)
+    bd = model.iteration_breakdown()
+    durations = {
+        "rotation": bd.rotation,
+        "decomposition": bd.decomposition,
+        "forward_fft": bd.forward_fft,
+        "vpe_stream": bd.vpe_stream,
+        "inverse_fft": bd.inverse_fft,
+    }
+    # The per-iteration overhead is a re-arm bubble on every unit (handoff
+    # registers draining between iterations), so it paces the steady-state
+    # interval exactly as the analytic model charges it.
+    handoff = bd.overhead / (len(STAGES) - 1)
+    spans = []
+    unit_free = dict.fromkeys(STAGES, 0.0)
+    for i in range(iterations):
+        upstream_done = 0.0
+        for stage in STAGES:
+            start = max(unit_free[stage], upstream_done)
+            end = start + durations[stage]
+            spans.append(StageSpan(i, stage, start, end))
+            unit_free[stage] = end + bd.overhead
+            upstream_done = end + handoff
+    return PipelineTrace(spans, iterations, config, params)
+
+
+def render_timeline(trace: PipelineTrace, width: int = 72) -> str:
+    """ASCII pipeline diagram: one row per stage, digits mark iterations."""
+    total = trace.total_cycles()
+    if total <= 0:
+        return "(empty trace)"
+    scale = width / total
+    lines = []
+    for stage in STAGES:
+        row = [" "] * width
+        for span in trace.stage_spans(stage):
+            lo = int(span.start * scale)
+            hi = max(lo + 1, int(span.end * scale))
+            for x in range(lo, min(hi, width)):
+                row[x] = str(span.iteration % 10)
+        lines.append(f"{stage:14s} |{''.join(row)}|")
+    lines.append(f"{'cycles':14s} |0{' ' * (width - len(str(int(total))) - 1)}{int(total)}|")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation."""
+
+from .ablations import (
+    run_ablation_dataflow,
+    run_ablation_reuse_factors,
+    run_ablation_rotator,
+    run_security_table,
+)
+from .common import ExperimentResult
+from .efficiency import run_efficiency_table
+from .fig1 import run_fig1
+from .fig2_fig6 import run_fig2, run_fig6
+from .fig3 import run_fig3
+from .fig7 import run_fig7a, run_fig7b
+from .fig8 import run_fig8a, run_fig8b
+from .runner import ALL_EXPERIMENTS, run_all
+from .table1 import run_table1
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+from .table5 import morphling_throughputs, run_table5
+from .table6 import TABLE_VI_PAPER, run_table6
+
+__all__ = [
+    "ExperimentResult",
+    "run_efficiency_table",
+    "run_ablation_dataflow",
+    "run_ablation_rotator",
+    "run_ablation_reuse_factors",
+    "run_security_table",
+    "run_fig1",
+    "run_fig2",
+    "run_fig6",
+    "run_fig3",
+    "run_fig7a",
+    "run_fig7b",
+    "run_fig8a",
+    "run_fig8b",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "morphling_throughputs",
+    "TABLE_VI_PAPER",
+    "ALL_EXPERIMENTS",
+    "run_all",
+]

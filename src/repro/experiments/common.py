@@ -1,0 +1,83 @@
+"""Shared result container for experiment drivers.
+
+Every driver returns an :class:`ExperimentResult`: a table (headers +
+rows) plus free-form notes, so the benchmark harness and EXPERIMENTS.md
+render every table/figure the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure."""
+
+    experiment_id: str
+    title: str
+    headers: list
+    rows: list
+    notes: list = field(default_factory=list)
+
+    def column(self, name: str) -> list:
+        """Extract one column by header name."""
+        try:
+            idx = self.headers.index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r}; headers: {self.headers}") from None
+        return [row[idx] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render as an aligned text table (what the benches print)."""
+        table = [self.headers] + [
+            [self._fmt(cell) for cell in row] for row in self.rows
+        ]
+        widths = [max(len(str(r[c])) for r in table) for c in range(len(self.headers))]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for i, row in enumerate(table):
+            lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        lines = [
+            "| " + " | ".join(self.headers) + " |",
+            "|" + "|".join("---" for _ in self.headers) + "|",
+        ]
+        for row in self.rows:
+            lines.append("| " + " | ".join(self._fmt(c) for c in row) + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render as CSV (quotes cells containing commas)."""
+        def q(cell):
+            text = self._fmt(cell).replace(",", "")
+            return text
+
+        lines = [",".join(self.headers)]
+        for row in self.rows:
+            lines.append(",".join(q(c) for c in row))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(cell) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            if abs(cell) >= 1:
+                return f"{cell:.2f}"
+            return f"{cell:.4f}"
+        if isinstance(cell, int) and abs(cell) >= 10000:
+            return f"{cell:,}"
+        return str(cell)

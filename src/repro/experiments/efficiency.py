@@ -1,0 +1,50 @@
+"""Derived efficiency comparison: energy and area efficiency vs the ASICs.
+
+The paper compares raw latency/throughput/area/power (Table V); this
+driver derives the two ratios architects actually trade on - energy per
+bootstrap and throughput per mm^2 - for Morphling (simulated) against the
+published MATCHA and Strix numbers at parameter set I.
+"""
+
+from __future__ import annotations
+
+from ..baselines.reference import references_for
+from ..core.accelerator import MorphlingConfig
+from ..core.area_power import AreaPowerModel
+from ..core.simulator import simulate_bootstrap
+from ..params import get_params
+from .common import ExperimentResult
+
+__all__ = ["run_efficiency_table"]
+
+
+def run_efficiency_table() -> ExperimentResult:
+    rows = []
+    for system in ("MATCHA", "Strix"):
+        ref = next(r for r in references_for(system) if r.param_set == "I")
+        rows.append([
+            ref.system, ref.platform,
+            round(ref.power_w / ref.throughput_bs * 1e3, 3),
+            int(ref.throughput_bs / ref.area_mm2),
+            "published",
+        ])
+    config = MorphlingConfig()
+    model = AreaPowerModel(config)
+    sim = simulate_bootstrap(config, get_params("I"))
+    rows.append([
+        "Morphling (ours)", "simulator",
+        round(model.energy_per_bootstrap_mj(sim.throughput_bs), 3),
+        int(model.throughput_per_mm2(sim.throughput_bs)),
+        "simulated",
+    ])
+    return ExperimentResult(
+        "efficiency-table",
+        "Energy and area efficiency at parameter set I",
+        ["system", "platform", "mJ/bootstrap", "BS/s per mm^2", "source"],
+        rows,
+        notes=[
+            "derived from Table V + Table IV: Morphling's transform-domain "
+            "reuse buys both the lowest energy per bootstrap and the highest "
+            "throughput density",
+        ],
+    )

@@ -1,0 +1,51 @@
+"""Figure 1: operation / memory / CPU-time breakdown of one bootstrap.
+
+Regenerates the three panels of the motivation figure for the 128-bit
+set (N=1024, n=481, k=2, l_b=4, l_k=9): multiplication shares per stage,
+working-set memory per stage, and CPU execution time per stage.
+"""
+
+from __future__ import annotations
+
+from ..analysis import bootstrap_intensity, bootstrap_memory, count_bootstrap_operations
+from ..baselines import CpuCostModel
+from ..params import FIG1_PARAMS, TFHEParams
+from .common import ExperimentResult
+
+__all__ = ["run_fig1"]
+
+PAPER_SHARES = {"ifft_fft": 0.88, "key_switch": 0.019, "other": 0.01}
+PAPER_CPU_MS = {"blind_rotation": 37.7, "key_switch": 6.4}
+PAPER_MEMORY_MB = {"bsk": 101.4, "ksk": 33.8}
+
+
+def run_fig1(params: TFHEParams = FIG1_PARAMS) -> ExperimentResult:
+    ops = count_bootstrap_operations(params)
+    shares = ops.shares()
+    mem = bootstrap_memory(params).megabytes()
+    cpu = CpuCostModel().bootstrap_time(params)
+    intensity = bootstrap_intensity(params)
+
+    rows = [
+        ["operations: I/FFT share", f"{shares['ifft_fft']:.1%}", f"{PAPER_SHARES['ifft_fft']:.0%}"],
+        ["operations: pointwise share", f"{shares['pointwise']:.1%}", "~9%"],
+        ["operations: key-switch share", f"{shares['key_switch']:.1%}", f"{PAPER_SHARES['key_switch']:.1%}"],
+        ["operations: other share", f"{shares['other']:.2%}", "~1%"],
+        ["memory: BSK (MB)", f"{mem['bsk']:.1f}", f"{PAPER_MEMORY_MB['bsk']}"],
+        ["memory: KSK (MB)", f"{mem['ksk']:.1f}", f"{PAPER_MEMORY_MB['ksk']}"],
+        ["CPU time: blind rotation (ms)", f"{cpu.blind_rotation_s * 1e3:.1f}", f"{PAPER_CPU_MS['blind_rotation']}"],
+        ["CPU time: key switch (ms)", f"{cpu.key_switch_s * 1e3:.1f}", f"{PAPER_CPU_MS['key_switch']}"],
+        ["intensity: BR (ops/byte)", f"{intensity.blind_rotation:.1f}", "compute-bound"],
+        ["intensity: KS (ops/byte)", f"{intensity.key_switch:.2f}", "memory-bound"],
+    ]
+    return ExperimentResult(
+        "fig1",
+        "Bootstrap breakdown: operations, memory, CPU time",
+        ["quantity", "measured", "paper"],
+        rows,
+        notes=[
+            "BSK memory: the paper stores the transform image in expanded "
+            "form (101.4 MB); our packed 32+32-bit layout gives 70.9 MB.",
+            f"total multiplications per bootstrap: {ops.total:,}",
+        ],
+    )

@@ -1,0 +1,77 @@
+"""Figures 2 and 6: the paper's two illustrative diagrams, as data.
+
+Figure 2 shows where transforms sit on a small VPE array for the three
+reuse classes; Figure 6 shows the SW/HW co-scheduler filling the engines
+with dependent instruction groups.  Both are illustrations in the paper;
+here they regenerate as structured tables (plus an ASCII Gantt chart for
+Fig. 6), derived from the same models everything else uses.
+"""
+
+from __future__ import annotations
+
+from ..core.accelerator import MorphlingConfig
+from ..core.reuse import ReuseType, transforms_per_external_product
+from ..core.scheduler import HwScheduler, LayerDemand, SwScheduler, render_schedule
+from ..params import get_params
+from .common import ExperimentResult
+
+__all__ = ["run_fig2", "run_fig6"]
+
+
+def run_fig2(k: int = 2, l_b: int = 1, array: int = 3) -> ExperimentResult:
+    """Fig. 2: transform placement on a (k+1)-column wave of a small array.
+
+    One wave computes (k+1) output columns for ``array`` concurrent
+    ciphertext rows; the table counts the F / F^-1 units each reuse class
+    instantiates for that wave and per whole array.
+    """
+    rows = []
+    vpes = array * (k + 1)
+    for reuse in ReuseType:
+        c = transforms_per_external_product(k, l_b, reuse)
+        per_wave_fwd = array * c.forward
+        per_wave_inv = array * c.inverse
+        rows.append([
+            reuse.value,
+            "per VPE" if reuse is ReuseType.NO_REUSE else
+            ("per row (input shared)" if reuse is ReuseType.INPUT_REUSE
+             else "per row, accumulated (input+output shared)"),
+            per_wave_fwd,
+            per_wave_inv,
+            f"{(per_wave_fwd + per_wave_inv) / vpes:.1f}",
+        ])
+    return ExperimentResult(
+        "fig2",
+        f"Transform placement on a {array}x{k + 1} VPE wave (k={k}, l_b={l_b})",
+        ["reuse type", "transform placement", "forward F", "inverse F^-1",
+         "transforms per VPE"],
+        rows,
+        notes=["the paper's Fig. 2 draws these placements for a 3x3 array; "
+               "input+output reuse hoists F to the row inputs and F^-1 to "
+               "the row outputs"],
+    )
+
+
+def run_fig6(groups: int = 4) -> ExperimentResult:
+    """Fig. 6: the co-scheduler filling engines with dependent groups."""
+    config = MorphlingConfig()
+    params = get_params("I")
+    sw = SwScheduler(config, params)
+    stream = sw.schedule([LayerDemand("batch", sw.group_size * groups)])
+    result = HwScheduler(config, params).execute(stream, record_spans=True)
+    rows = []
+    for engine, op, group, start, end in result.spans:
+        if end - start < 1e-9:
+            continue
+        rows.append([
+            engine, op, group,
+            round(start * 1e3, 3), round(end * 1e3, 3),
+        ])
+    gantt = render_schedule(result)
+    return ExperimentResult(
+        "fig6",
+        f"SW-HW co-scheduled execution of {groups} groups (set I)",
+        ["engine", "operation", "group", "start (ms)", "end (ms)"],
+        rows,
+        notes=["ASCII Gantt (digits = group ids):"] + gantt.split("\n"),
+    )

@@ -1,0 +1,73 @@
+"""Figure 7: (a) latency breakdown across components, (b) transform-domain
+reuse impact on throughput under equal resources.
+"""
+
+from __future__ import annotations
+
+from ..baselines import equal_resource_variants
+from ..core.accelerator import MorphlingConfig
+from ..core.simulator import simulate_bootstrap
+from ..params import get_params
+from .common import ExperimentResult
+
+__all__ = ["run_fig7a", "run_fig7b"]
+
+
+def run_fig7a(config: MorphlingConfig = None) -> ExperimentResult:
+    """Per-component share of bootstrap busy time (paper: XPU 88-93 %)."""
+    config = config or MorphlingConfig()
+    rows = []
+    for pset in ("I", "II", "III", "IV"):
+        r = simulate_bootstrap(config, get_params(pset))
+        fr = r.latency_fractions()
+        rows.append([
+            pset,
+            f"{fr['xpu_blind_rotation']:.1%}",
+            f"{fr['vpu_modulus_switch']:.2%}",
+            f"{fr['vpu_sample_extract']:.2%}",
+            f"{fr['vpu_key_switch']:.1%}",
+        ])
+    return ExperimentResult(
+        "fig7a",
+        "Latency breakdown across components",
+        ["set", "XPU (blind rotation)", "VPU: MS", "VPU: SE", "VPU: KS"],
+        rows,
+        notes=["paper: XPU dominates with 88-93% of the total latency"],
+    )
+
+
+def run_fig7b() -> ExperimentResult:
+    """Equal-resource reuse ladder throughput (paper sets A, B, C).
+
+    Speedups are measured on the XPU compute pipeline (all variants use
+    identical memory systems), with the No-Reuse variant as 1.0x -
+    matching the paper's equal-compute-resources setup.
+    """
+    paper = {
+        "A": {"input-reuse": "1.3-1.6x", "input+output-reuse": "2.0x"},
+        "B": {"input-reuse": "1.3-1.6x", "input+output-reuse": "2.9x"},
+        "C": {"input-reuse": "1.3-1.6x", "input+output-reuse": "3.9x"},
+    }
+    rows = []
+    for pset in ("A", "B", "C"):
+        p = get_params(pset)
+        base = None
+        for name, cfg in equal_resource_variants().items():
+            r = simulate_bootstrap(cfg, p)
+            thr = r.group_size / r.xpu_busy_s
+            if base is None:
+                base = thr
+            expected = paper[pset].get(name, "-")
+            rows.append([pset, name, int(thr), f"{thr / base:.2f}x", expected])
+    return ExperimentResult(
+        "fig7b",
+        "Throughput and speed-up per transform-domain reuse type",
+        ["set", "architecture", "throughput (BS/s)", "speedup", "paper"],
+        rows,
+        notes=[
+            "paper: merge-split FFT adds 1.2-1.3x; our pipeline model credits "
+            "it ~2x because the supply stages are sized to the MS-FFT rate "
+            "(EXPERIMENTS.md discusses the deviation)",
+            "combined techniques: paper 2.6-5.3x, ours 4.0-7.9x",
+        ],
+    )

@@ -1,0 +1,65 @@
+"""Run every experiment and print the regenerated tables/figures.
+
+``python -m repro.experiments.runner`` regenerates the paper's full
+evaluation section in one go.
+"""
+
+from __future__ import annotations
+
+from .ablations import (
+    run_ablation_dataflow,
+    run_ablation_reuse_factors,
+    run_ablation_rotator,
+    run_security_table,
+)
+from .efficiency import run_efficiency_table
+from .fig1 import run_fig1
+from .fig2_fig6 import run_fig2, run_fig6
+from .fig3 import run_fig3
+from .fig7 import run_fig7a, run_fig7b
+from .fig8 import run_fig8a, run_fig8b
+from .table1 import run_table1
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+from .table5 import run_table5
+from .table6 import run_table6
+
+__all__ = ["ALL_EXPERIMENTS", "run_all"]
+
+ALL_EXPERIMENTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "fig6": run_fig6,
+    "fig7a": run_fig7a,
+    "fig7b": run_fig7b,
+    "fig8a": run_fig8a,
+    "fig8b": run_fig8b,
+    "table6": run_table6,
+    "ablation-dataflow": run_ablation_dataflow,
+    "ablation-rotator": run_ablation_rotator,
+    "ablation-reuse-factors": run_ablation_reuse_factors,
+    "security-table": run_security_table,
+    "efficiency-table": run_efficiency_table,
+}
+
+
+def run_all() -> list:
+    """Execute every experiment driver; returns the results in order."""
+    return [runner() for runner in ALL_EXPERIMENTS.values()]
+
+
+def main() -> None:
+    for result in run_all():
+        print(result.to_text())
+        print()
+
+
+if __name__ == "__main__":
+    main()

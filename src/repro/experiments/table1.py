@@ -1,0 +1,30 @@
+"""Table I: typical ciphertext parameters per FHE scheme."""
+
+from __future__ import annotations
+
+from ..params import SCHEME_PROFILES
+from .common import ExperimentResult
+
+__all__ = ["run_table1"]
+
+
+def run_table1() -> ExperimentResult:
+    rows = []
+    for name in ("TFHE", "CKKS", "BGV", "BFV"):
+        profile = SCHEME_PROFILES[name]
+        rows.append([
+            name,
+            f"{profile.log2_p_range[0]}-{profile.log2_p_range[1]}",
+            f"{profile.log2_q_range[0]}-{profile.log2_q_range[1]}",
+            f"{profile.log2_n_range[0]}-{profile.log2_n_range[1]}",
+            "small" if profile.is_small_parameter else "large",
+            "yes" if profile.needs_rns else "no",
+            "yes" if profile.programmable_bootstrap else "no",
+        ])
+    return ExperimentResult(
+        "table1",
+        "Typical ciphertext parameters per FHE scheme",
+        ["scheme", "log2|P|", "log2|Q|", "log2 N", "family", "needs RNS",
+         "programmable bootstrap"],
+        rows,
+    )

@@ -1,0 +1,29 @@
+"""Table IV: area and power breakdown of the Morphling configuration."""
+
+from __future__ import annotations
+
+from ..core.accelerator import MorphlingConfig
+from ..core.area_power import TABLE_IV_PAPER, AreaPowerModel
+from .common import ExperimentResult
+
+__all__ = ["run_table4"]
+
+
+def run_table4(config: MorphlingConfig = None) -> ExperimentResult:
+    config = config or MorphlingConfig()
+    model = AreaPowerModel(config)
+    rows = []
+    for name, cost in model.breakdown().items():
+        rows.append([name, round(cost.area_mm2, 2), round(cost.power_w, 2)])
+    total = model.total()
+    rows.append(["Total", round(total.area_mm2, 2), round(total.power_w, 2)])
+    paper_total = TABLE_IV_PAPER["total"]
+    return ExperimentResult(
+        "table4",
+        "Area and power breakdown (TSMC 28 nm, 1.2 GHz)",
+        ["component", "area (mm^2)", "power (W)"],
+        rows,
+        notes=[
+            f"paper total: {paper_total.area_mm2} mm^2 / {paper_total.power_w} W",
+        ],
+    )

@@ -1,0 +1,62 @@
+"""Table V: bootstrapping latency/throughput across platforms.
+
+Published reference rows are reprinted verbatim; the Morphling rows come
+from our simulator; the speedup factors are recomputed from the two.
+"""
+
+from __future__ import annotations
+
+from ..baselines import TABLE_V_MORPHLING_PAPER, TABLE_V_REFERENCES, speedup_range
+from ..core.accelerator import MorphlingConfig
+from ..core.simulator import simulate_bootstrap
+from ..params import get_params
+from .common import ExperimentResult
+
+__all__ = ["run_table5", "morphling_throughputs"]
+
+MORPHLING_SETS = ("I", "II", "III", "IV")
+
+
+def morphling_throughputs(config: MorphlingConfig = None) -> dict:
+    """Simulated Morphling throughput per parameter set."""
+    config = config or MorphlingConfig()
+    return {
+        s: simulate_bootstrap(config, get_params(s)).throughput_bs
+        for s in MORPHLING_SETS
+    }
+
+
+def run_table5(config: MorphlingConfig = None) -> ExperimentResult:
+    config = config or MorphlingConfig()
+    rows = []
+    for ref in TABLE_V_REFERENCES:
+        rows.append([
+            ref.system, ref.platform, ref.param_set,
+            ref.latency_ms, int(ref.throughput_bs), "published",
+        ])
+    sims = {}
+    for pset in MORPHLING_SETS:
+        r = simulate_bootstrap(config, get_params(pset))
+        sims[pset] = r
+        paper = TABLE_V_MORPHLING_PAPER[pset]
+        rows.append([
+            "Morphling (ours)", "simulator", pset,
+            round(r.bootstrap_latency_ms, 2), int(r.throughput_bs),
+            f"paper: {paper.latency_ms} ms / {int(paper.throughput_bs):,} BS/s",
+        ])
+    throughputs = {s: r.throughput_bs for s, r in sims.items()}
+    notes = []
+    for system, paper_range in [
+        ("Concrete", "2145-3439x"), ("NuFHE", "60-144x"), ("cuda TFHE", "55x"),
+        ("XHEC", "28-37x"), ("MATCHA", "14.76x"), ("Strix", "1.98-2.0x"),
+    ]:
+        lo, hi = speedup_range(throughputs, system)
+        shown = f"{lo:.1f}x" if abs(hi - lo) < 0.05 * hi else f"{lo:.0f}-{hi:.0f}x"
+        notes.append(f"speedup over {system}: {shown} (paper {paper_range})")
+    return ExperimentResult(
+        "table5",
+        "Bootstrapping latency and throughput across platforms",
+        ["system", "platform", "set", "latency (ms)", "throughput (BS/s)", "source"],
+        rows,
+        notes=notes,
+    )

@@ -1,0 +1,59 @@
+"""Table VI: application execution time, Morphling vs 64-core CPU.
+
+Each workload is lowered by the SW-scheduler and executed on the HW
+scheduler timing model (set III, 128-bit); the CPU side uses the
+calibrated Concrete model on all 64 cores.
+"""
+
+from __future__ import annotations
+
+from ..apps import deepcnn_workload, vgg9_workload, xgboost_workload
+from ..baselines import CpuCostModel
+from ..core.accelerator import MorphlingConfig
+from ..core.scheduler import run_workload
+from ..params import TFHEParams, get_params
+from .common import ExperimentResult
+
+__all__ = ["run_table6", "TABLE_VI_PAPER"]
+
+TABLE_VI_PAPER = {
+    "XG-Boost": (9.59, 0.06, 144),
+    "DeepCNN-20": (33.32, 0.34, 95),
+    "DeepCNN-50": (74.94, 0.84, 88),
+    "DeepCNN-100": (180.09, 1.72, 104),
+    "VGG-9": (94.78, 0.675, 140),
+}
+
+
+def run_table6(params: TFHEParams = None) -> ExperimentResult:
+    params = params or get_params("III")
+    config = MorphlingConfig()
+    cpu = CpuCostModel()
+    workloads = [
+        xgboost_workload(),
+        deepcnn_workload(20),
+        deepcnn_workload(50),
+        deepcnn_workload(100),
+        vgg9_workload(),
+    ]
+    rows = []
+    for wl in workloads:
+        result = run_workload(config, params, list(wl.layers))
+        cpu_s = cpu.workload_seconds(params, wl.total_bootstraps, wl.total_linear_macs)
+        paper_cpu, paper_morph, paper_speedup = TABLE_VI_PAPER[wl.name]
+        rows.append([
+            wl.name,
+            wl.total_bootstraps,
+            round(cpu_s, 2),
+            round(result.total_seconds, 3),
+            f"{cpu_s / result.total_seconds:.0f}x",
+            f"{paper_cpu}s / {paper_morph}s / {paper_speedup}x",
+        ])
+    return ExperimentResult(
+        "table6",
+        f"Application execution time vs CPU (set {params.name})",
+        ["application", "bootstraps", "CPU (s)", "Morphling (s)", "speedup",
+         "paper (CPU/Morphling/speedup)"],
+        rows,
+        notes=["paper range: 88-144x speedup over the 64-core CPU"],
+    )

@@ -1,0 +1,139 @@
+"""Programmable bootstrapping: MS -> BR -> SE -> KS (Algorithm 1).
+
+The four stages map one-to-one onto Morphling's hardware:
+
+- :func:`modulus_switch` - VPU scalar multiply + round (memory-light);
+- :func:`blind_rotate` - the XPU's ``n`` sequential CMux external
+  products, each a rotation -> decomposition -> transform-domain
+  matrix-vector product;
+- sample extraction (:func:`repro.tfhe.glwe.sample_extract`) - pure data
+  regrouping on the VPU;
+- :func:`key_switch` - the memory-bound KSK contraction on the VPU.
+
+:func:`programmable_bootstrap` composes them and optionally records
+per-stage operation counts through a :class:`BootstrapTrace` so the
+analysis layer (Fig. 1) can account real executions rather than formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..params import TFHEParams
+from .decomposition import decompose
+from .ggsw import cmux
+from .glwe import GlweCiphertext, glwe_rotate, glwe_trivial, sample_extract
+from .keys import KeySet, KeySwitchingKey
+from .lwe import LweCiphertext
+from .torus import TORUS_DTYPE, modswitch, to_torus
+
+__all__ = [
+    "BootstrapTrace",
+    "modulus_switch",
+    "blind_rotate",
+    "key_switch",
+    "programmable_bootstrap",
+]
+
+
+@dataclass
+class BootstrapTrace:
+    """Counters filled in by an instrumented bootstrap run."""
+
+    external_products: int = 0
+    forward_transforms: int = 0
+    inverse_transforms: int = 0
+    pointwise_mult_polys: int = 0
+    rotations: int = 0
+    ks_scalar_mults: int = 0
+    ms_operations: int = 0
+
+    def total_transforms(self) -> int:
+        return self.forward_transforms + self.inverse_transforms
+
+
+def modulus_switch(ct: LweCiphertext, N: int) -> tuple:
+    """Rescale an LWE ciphertext to modulus ``2N`` (Algorithm 1, line 1).
+
+    Returns plain integer arrays ``(a_tilde, b_tilde)`` in ``Z_{2N}``.
+    """
+    a_tilde = modswitch(ct.a, 2 * N)
+    b_tilde = int(modswitch(np.asarray(ct.b), 2 * N)[()])
+    return a_tilde, b_tilde
+
+
+def blind_rotate(
+    a_tilde: np.ndarray,
+    b_tilde: int,
+    test_poly: np.ndarray,
+    keyset: KeySet,
+    engine: str = "transform",
+    trace: BootstrapTrace = None,
+) -> GlweCiphertext:
+    """Blind rotation: ACC <- X^{-b~} * TP, then ``n`` CMux iterations.
+
+    After the loop the accumulator holds ``X^{-phase} * TP`` where
+    ``phase = b~ - sum a~_i s_i`` - the noisy encoded message in ``Z_{2N}``.
+    """
+    params = keyset.params
+    acc = glwe_trivial(test_poly, params.k)
+    acc = glwe_rotate(acc, -b_tilde)
+    for i in range(params.n):
+        t = int(a_tilde[i])
+        if t == 0:
+            continue
+        rotated = glwe_rotate(acc, t)
+        acc = cmux(keyset.bsk[i], acc, rotated, engine=engine)
+        if trace is not None:
+            trace.external_products += 1
+            trace.rotations += 1
+            trace.forward_transforms += (params.k + 1) * params.l_b
+            trace.inverse_transforms += params.k + 1
+            trace.pointwise_mult_polys += (params.k + 1) ** 2 * params.l_b
+    return acc
+
+
+def key_switch(
+    ct: LweCiphertext,
+    ksk: KeySwitchingKey,
+    trace: BootstrapTrace = None,
+) -> LweCiphertext:
+    """Switch an extracted LWE ciphertext back to the original key.
+
+    ``c'' = (0, ..., b') - sum_i sum_j Decomp(a'_i)_j * KSK_(i,j)``
+    (Algorithm 1, line 6), fully vectorized over the ``k*N`` input masks.
+    """
+    if ct.n != ksk.in_dimension:
+        raise ValueError("ciphertext dimension does not match KSK input dimension")
+    digits = decompose(ct.a[None, :], ksk.beta_ks_bits, ksk.l_k)[0]  # (l_k, kN)
+    digits = digits.T  # (kN, l_k)
+    d64 = digits.astype(np.int64)
+    mask_acc = -(d64[:, :, None] * ksk.masks.astype(np.int64)).sum(axis=(0, 1))
+    body_acc = np.int64(ct.b) - (d64 * ksk.bodies.astype(np.int64)).sum()
+    if trace is not None:
+        trace.ks_scalar_mults += int(digits.size) * (ksk.out_dimension + 1)
+    return LweCiphertext(to_torus(mask_acc), to_torus(body_acc)[()])
+
+
+def programmable_bootstrap(
+    ct: LweCiphertext,
+    test_poly: np.ndarray,
+    keyset: KeySet,
+    engine: str = "transform",
+    trace: BootstrapTrace = None,
+) -> LweCiphertext:
+    """Full programmable bootstrap of one LWE ciphertext (Algorithm 1).
+
+    ``engine`` picks the external-product datapath: ``"transform"``
+    (Morphling's reuse datapath), ``"fft"`` (per-product transforms) or
+    ``"exact"`` (integer reference).
+    """
+    params = keyset.params
+    a_tilde, b_tilde = modulus_switch(ct, params.N)
+    if trace is not None:
+        trace.ms_operations += params.n + 1
+    acc = blind_rotate(a_tilde, b_tilde, test_poly, keyset, engine=engine, trace=trace)
+    extracted = sample_extract(acc, 0)
+    return key_switch(extracted, keyset.ksk, trace=trace)

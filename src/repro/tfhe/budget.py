@@ -1,0 +1,150 @@
+"""Noise-budget tracking and automatic bootstrap placement.
+
+TFHE programs alternate cheap linear operations (which grow noise) with
+bootstraps (which reset it).  ``NoiseBudget`` tracks the noise variance
+of a ciphertext symbolically through linear ops using the same variance
+algebra as :mod:`repro.tfhe.noise`; ``BootstrapPlanner`` walks a linear
+program (sequence of weighted-sum ops) and inserts bootstraps exactly
+where the accumulated variance would cross the decode budget - then
+emits the resulting bootstrap schedule as scheduler layers, connecting
+the compiler view to the accelerator model.
+
+This is the automation behind the paper's Section II observation that
+"bootstrapping is an essential operation... as its absence would
+restrict the supported applications": the planner decides *where* it is
+essential.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..params import TFHEParams
+from .noise import (
+    blind_rotation_noise_variance,
+    key_switch_noise_variance,
+    max_noise_for_message_modulus,
+)
+
+__all__ = ["NoiseBudget", "LinearOp", "BootstrapPlan", "BootstrapPlanner"]
+
+
+@dataclass(frozen=True)
+class NoiseBudget:
+    """Symbolic noise state of one ciphertext (variance in torus^2 units)."""
+
+    variance: float
+    params: TFHEParams
+
+    @classmethod
+    def fresh(cls, params: TFHEParams) -> "NoiseBudget":
+        """A freshly encrypted ciphertext."""
+        return cls((2.0 ** params.lwe_noise_log2) ** 2, params)
+
+    @classmethod
+    def bootstrapped(cls, params: TFHEParams) -> "NoiseBudget":
+        """A ciphertext straight out of a bootstrap (input-independent)."""
+        v = key_switch_noise_variance(params, blind_rotation_noise_variance(params))
+        return cls(v, params)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def add(self, other: "NoiseBudget") -> "NoiseBudget":
+        """Ciphertext addition: variances add (independent noise)."""
+        return NoiseBudget(self.variance + other.variance, self.params)
+
+    def scalar_mul(self, scalar: int) -> "NoiseBudget":
+        """Plaintext multiplication scales the noise by |scalar|."""
+        return NoiseBudget(self.variance * scalar * scalar, self.params)
+
+    def weighted_sum(self, weights) -> "NoiseBudget":
+        """Dot product with plaintext weights, all operands at this level."""
+        factor = sum(int(w) * int(w) for w in weights)
+        return NoiseBudget(self.variance * factor, self.params)
+
+    def decodes_at(self, p: int, sigmas: float = 4.0) -> bool:
+        """True if decoding at modulus ``p`` succeeds with ``sigmas`` margin."""
+        return sigmas * self.std < max_noise_for_message_modulus(p)
+
+
+@dataclass(frozen=True)
+class LinearOp:
+    """One level of a linear program: a weighted sum of current values."""
+
+    name: str
+    weights: tuple
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("linear op needs at least one weight")
+
+
+@dataclass
+class BootstrapPlan:
+    """Where bootstraps were inserted and what the program costs."""
+
+    steps: list  # (op_name, bootstrapped_before: bool)
+    total_bootstraps: int
+    final_budget: NoiseBudget
+
+    def to_layers(self, values_per_level: int = 1) -> list:
+        """Scheduler layers: one per bootstrap point."""
+        from ..core.scheduler import LayerDemand
+
+        layers = []
+        for name, bootstrapped in self.steps:
+            if bootstrapped:
+                layers.append(LayerDemand(f"pbs-before-{name}",
+                                          bootstraps=values_per_level))
+        return layers or [LayerDemand("linear-only", bootstraps=0)]
+
+
+class BootstrapPlanner:
+    """Greedy bootstrap placement for a straight-line linear program."""
+
+    def __init__(self, params: TFHEParams, p: int, sigmas: float = 4.0):
+        if p < 2:
+            raise ValueError("message modulus must be >= 2")
+        self.params = params
+        self.p = p
+        self.sigmas = sigmas
+        base = NoiseBudget.bootstrapped(params)
+        if not base.decodes_at(p, sigmas):
+            raise ValueError(
+                f"parameters cannot decode p={p} even right after a bootstrap"
+            )
+
+    def plan(self, program: list) -> BootstrapPlan:
+        """Insert bootstraps so every op's output still decodes.
+
+        Greedy rule: try the op on the current budget; if the result
+        would not decode with the configured margin, bootstrap the
+        inputs first (resetting to the bootstrapped level) and retry.
+        A single op too heavy even for fresh inputs is an error - it
+        needs algorithmic restructuring, not scheduling.
+        """
+        budget = NoiseBudget.fresh(self.params)
+        if not budget.decodes_at(self.p, self.sigmas):
+            budget = NoiseBudget.bootstrapped(self.params)
+        steps = []
+        bootstraps = 0
+        for op in program:
+            candidate = budget.weighted_sum(op.weights)
+            if candidate.decodes_at(self.p, self.sigmas):
+                steps.append((op.name, False))
+                budget = candidate
+                continue
+            reset = NoiseBudget.bootstrapped(self.params)
+            candidate = reset.weighted_sum(op.weights)
+            if not candidate.decodes_at(self.p, self.sigmas):
+                raise ValueError(
+                    f"op {op.name!r} exceeds the noise budget even on "
+                    f"freshly bootstrapped inputs (weights {op.weights})"
+                )
+            steps.append((op.name, True))
+            bootstraps += 1
+            budget = candidate
+        return BootstrapPlan(steps, bootstraps, budget)

@@ -1,0 +1,170 @@
+"""GGSW ciphertexts, the external product, and the CMux gate.
+
+A GGSW ciphertext of a plaintext ``m`` is a ``(k+1)*l_b`` stack of GLWE
+rows: row ``(i, j)`` encrypts ``-m * S_i * q/beta**(j+1)`` (with ``S_{k}``
+read as ``-1``, i.e. the body row carries ``+m * q/beta**(j+1)``).  The
+external product ``GGSW boxdot GLWE`` decomposes the GLWE operand and
+contracts it against the row stack - the vector-of-polynomials x
+matrix-of-polynomials multiplication of the paper's equations (1)-(2).
+
+Two functional engines are provided, mirroring the hardware exactly:
+
+- :func:`external_product` - coefficient-domain reference (per-row
+  polynomial products);
+- :func:`external_product_transform` - Morphling's datapath: forward
+  transforms of the decomposed digits (ACC input), pointwise MACs in the
+  transform domain (the VPE array), one inverse transform per output
+  polynomial (the Input+Output reuse), with the BSK pre-transformed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..transforms.negacyclic import negacyclic_fft
+from .decomposition import decompose
+from .glwe import GlweCiphertext, GlweSecretKey, glwe_encrypt
+from .polynomial import from_spectrum, poly_mul
+from .torus import TORUS_DTYPE, to_torus, u32
+
+__all__ = [
+    "GgswCiphertext",
+    "ggsw_encrypt",
+    "external_product",
+    "external_product_transform",
+    "cmux",
+]
+
+
+@dataclass
+class GgswCiphertext:
+    """GGSW row stack of shape ``((k+1) * l_b, k+1, N)``.
+
+    ``rows[r]`` is one GLWE ciphertext; ``r = i * l_b + j`` pairs component
+    ``i`` (0..k) with decomposition level ``j`` (0..l_b-1).  ``spectrum``
+    caches the transform-domain image (computed lazily), which is what the
+    Private-A2 buffer holds on chip.
+    """
+
+    rows: np.ndarray
+    beta_bits: int
+    _spectrum: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        self.rows = np.asarray(self.rows, dtype=TORUS_DTYPE)
+        if self.rows.ndim != 3:
+            raise ValueError("GGSW rows must have shape ((k+1)*l_b, k+1, N)")
+
+    @property
+    def k(self) -> int:
+        return self.rows.shape[1] - 1
+
+    @property
+    def l_b(self) -> int:
+        return self.rows.shape[0] // (self.k + 1)
+
+    @property
+    def N(self) -> int:
+        return self.rows.shape[2]
+
+    def spectrum(self) -> np.ndarray:
+        """Transform-domain image of every row polynomial (cached).
+
+        Coefficients are lifted to centered representatives first so the
+        float transform stays well-conditioned - this matches the
+        pre-computation Morphling does before loading the Private-A2
+        buffer.
+        """
+        if self._spectrum is None:
+            centered = self.rows.astype(np.int32).astype(np.float64)
+            self._spectrum = negacyclic_fft(centered)
+        return self._spectrum
+
+
+def ggsw_encrypt(
+    m: int,
+    key: GlweSecretKey,
+    beta_bits: int,
+    l_b: int,
+    rng: np.random.Generator,
+    noise_log2: float = -25.0,
+    q_bits: int = 32,
+) -> GgswCiphertext:
+    """Encrypt a small integer plaintext (typically a key bit) as GGSW."""
+    k, n = key.k, key.N
+    zero = np.zeros(n, dtype=TORUS_DTYPE)
+    rows = np.empty(((k + 1) * l_b, k + 1, n), dtype=TORUS_DTYPE)
+    for i in range(k + 1):
+        for j in range(l_b):
+            enc = glwe_encrypt(zero, key, rng, noise_log2)
+            # Gadget term: add m * q/beta**(j+1) to the constant coefficient
+            # of component i (row (i,j) of Z + m*G).
+            weight = to_torus(np.int64(m) * (1 << (q_bits - beta_bits * (j + 1))))
+            enc.data[i, 0] = u32(int(enc.data[i, 0]) + int(weight))
+            rows[i * l_b + j] = enc.data
+    return GgswCiphertext(rows, beta_bits)
+
+
+def _decompose_glwe(ct: GlweCiphertext, beta_bits: int, l_b: int) -> np.ndarray:
+    """Gadget-decompose all k+1 polynomials: shape ``(k+1, l_b, N)`` int64."""
+    return decompose(ct.data, beta_bits, l_b)
+
+
+def external_product(ggsw: GgswCiphertext, glwe: GlweCiphertext, engine: str = "fft") -> GlweCiphertext:
+    """``GGSW boxdot GLWE`` in the coefficient domain (reference engine)."""
+    if ggsw.N != glwe.N or ggsw.k != glwe.k:
+        raise ValueError("GGSW/GLWE dimensions do not match")
+    digits = _decompose_glwe(glwe, ggsw.beta_bits, ggsw.l_b)
+    k, l_b, n = ggsw.k, ggsw.l_b, ggsw.N
+    acc = np.zeros((k + 1, n), dtype=np.int64)
+    for i in range(k + 1):
+        for j in range(l_b):
+            row = ggsw.rows[i * l_b + j]
+            for c in range(k + 1):
+                acc[c] += poly_mul(digits[i, j], row[c], engine=engine).astype(np.int64)
+    return GlweCiphertext(to_torus(acc))
+
+
+def external_product_transform(ggsw: GgswCiphertext, glwe: GlweCiphertext) -> GlweCiphertext:
+    """``GGSW boxdot GLWE`` via Morphling's transform-domain datapath.
+
+    Forward-transform the ``(k+1)*l_b`` decomposed digits once (Input
+    reuse), accumulate all pointwise products per output component in the
+    transform domain (Output reuse - the POLY-ACC-REG), then inverse
+    transform each of the ``k+1`` outputs exactly once.
+    """
+    if ggsw.N != glwe.N or ggsw.k != glwe.k:
+        raise ValueError("GGSW/GLWE dimensions do not match")
+    digits = _decompose_glwe(glwe, ggsw.beta_bits, ggsw.l_b)
+    k, l_b, n = ggsw.k, ggsw.l_b, ggsw.N
+    digit_spec = negacyclic_fft(digits.astype(np.float64))  # (k+1, l_b, N/2)
+    row_spec = ggsw.spectrum()  # ((k+1)*l_b, k+1, N/2)
+    out = np.empty((k + 1, n), dtype=TORUS_DTYPE)
+    for c in range(k + 1):
+        acc_spec = np.zeros(n // 2, dtype=np.complex128)
+        for i in range(k + 1):
+            for j in range(l_b):
+                acc_spec += digit_spec[i, j] * row_spec[i * l_b + j, c]
+        out[c] = from_spectrum(acc_spec, n)
+    return GlweCiphertext(out)
+
+
+def cmux(
+    ggsw_bit: GgswCiphertext,
+    ct_false: GlweCiphertext,
+    ct_true: GlweCiphertext,
+    engine: str = "transform",
+) -> GlweCiphertext:
+    """Homomorphic multiplexer: returns ``ct_true`` if the GGSW bit is 1.
+
+    ``CMux(b, c0, c1) = b boxdot (c1 - c0) + c0`` - the body of the blind
+    rotation's per-iteration update (Algorithm 1, line 4).
+    """
+    diff = GlweCiphertext(ct_true.data - ct_false.data)
+    if engine == "transform":
+        prod = external_product_transform(ggsw_bit, diff)
+    else:
+        prod = external_product(ggsw_bit, diff, engine=engine)
+    return GlweCiphertext(prod.data + ct_false.data)

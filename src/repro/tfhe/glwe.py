@@ -1,0 +1,177 @@
+"""GLWE ciphertexts: polynomial-message encryption.
+
+A GLWE ciphertext of ``M(x)`` under ``S = (S_1..S_k)`` (binary polynomials)
+is ``(A_1..A_k, B)`` with ``B = sum A_i * S_i + M + E`` in the negacyclic
+ring (Section II-A).  We store the ``k`` masks and the body in one
+``(k+1, N)`` uint32 array - the paper's ACC ciphertext layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .lwe import LweCiphertext, gaussian_torus_noise
+from .polynomial import monomial_mul, poly_add, poly_sub
+from .torus import TORUS_DTYPE, to_torus
+
+__all__ = [
+    "GlweSecretKey",
+    "GlweCiphertext",
+    "glwe_keygen",
+    "glwe_encrypt",
+    "glwe_decrypt_phase",
+    "glwe_trivial",
+    "glwe_add",
+    "glwe_sub",
+    "glwe_rotate",
+    "sample_extract",
+]
+
+
+@dataclass(frozen=True)
+class GlweSecretKey:
+    """GLWE secret key: ``k`` binary polynomials of size ``N``."""
+
+    polys: np.ndarray
+
+    def __post_init__(self) -> None:
+        polys = np.asarray(self.polys)
+        if polys.ndim != 2:
+            raise ValueError("GLWE key must have shape (k, N)")
+        if not np.all((polys == 0) | (polys == 1)):
+            raise ValueError("GLWE key coefficients must be 0/1")
+        object.__setattr__(self, "polys", polys.astype(np.int64))
+
+    @property
+    def k(self) -> int:
+        return self.polys.shape[0]
+
+    @property
+    def N(self) -> int:
+        return self.polys.shape[1]
+
+    def extracted_lwe_bits(self) -> np.ndarray:
+        """The ``k*N`` LWE key bits matching :func:`sample_extract`.
+
+        Extracting the constant coefficient of a GLWE phase turns the
+        polynomial key into a flat LWE key whose bits are the key
+        coefficients in natural order.
+        """
+        return self.polys.reshape(-1).copy()
+
+
+@dataclass
+class GlweCiphertext:
+    """A GLWE sample stored as a ``(k+1, N)`` array: rows 0..k-1 = masks, row k = body."""
+
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=TORUS_DTYPE)
+        if self.data.ndim != 2:
+            raise ValueError("GLWE ciphertext must have shape (k+1, N)")
+
+    @property
+    def k(self) -> int:
+        return self.data.shape[0] - 1
+
+    @property
+    def N(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def masks(self) -> np.ndarray:
+        return self.data[:-1]
+
+    @property
+    def body(self) -> np.ndarray:
+        return self.data[-1]
+
+    def copy(self) -> "GlweCiphertext":
+        return GlweCiphertext(self.data.copy())
+
+
+def glwe_keygen(k: int, N: int, rng: np.random.Generator) -> GlweSecretKey:
+    """Sample ``k`` uniform binary key polynomials."""
+    return GlweSecretKey(rng.integers(0, 2, size=(k, N), dtype=np.int64))
+
+
+def _key_mask_product(masks: np.ndarray, key: GlweSecretKey) -> np.ndarray:
+    """Exact ``sum_i A_i * S_i`` with binary ``S_i`` (int64, negacyclic)."""
+    n = masks.shape[-1]
+    acc = np.zeros(n, dtype=np.int64)
+    centered = masks.astype(np.int64)
+    for i in range(key.k):
+        s = key.polys[i]
+        ones = np.nonzero(s)[0]
+        a = centered[i]
+        for j in ones:
+            acc += np.concatenate((-a[n - j:], a[: n - j])) if j else a
+    return acc
+
+
+def glwe_encrypt(
+    m_poly: np.ndarray,
+    key: GlweSecretKey,
+    rng: np.random.Generator,
+    noise_log2: float = -25.0,
+) -> GlweCiphertext:
+    """Encrypt a torus polynomial (uint32 numerators of length N)."""
+    m = np.asarray(m_poly, dtype=TORUS_DTYPE)
+    if m.shape != (key.N,):
+        raise ValueError(f"message must have shape ({key.N},)")
+    data = np.empty((key.k + 1, key.N), dtype=TORUS_DTYPE)
+    data[:-1] = rng.integers(0, 1 << 32, size=(key.k, key.N), dtype=np.uint64).astype(TORUS_DTYPE)
+    e = gaussian_torus_noise(rng, noise_log2, shape=(key.N,))
+    data[-1] = to_torus(_key_mask_product(data[:-1], key)) + m + e
+    return GlweCiphertext(data)
+
+
+def glwe_decrypt_phase(ct: GlweCiphertext, key: GlweSecretKey) -> np.ndarray:
+    """Noisy phase ``B - sum A_i S_i`` (message polynomial + noise)."""
+    return (ct.body.astype(np.int64) - _key_mask_product(ct.masks, key)).astype(TORUS_DTYPE)
+
+
+def glwe_trivial(m_poly: np.ndarray, k: int) -> GlweCiphertext:
+    """Noiseless, keyless GLWE encryption (masks = 0)."""
+    m = np.asarray(m_poly, dtype=TORUS_DTYPE)
+    data = np.zeros((k + 1, m.shape[-1]), dtype=TORUS_DTYPE)
+    data[-1] = m
+    return GlweCiphertext(data)
+
+
+def glwe_add(x: GlweCiphertext, y: GlweCiphertext) -> GlweCiphertext:
+    """Homomorphic addition."""
+    return GlweCiphertext(poly_add(x.data, y.data))
+
+
+def glwe_sub(x: GlweCiphertext, y: GlweCiphertext) -> GlweCiphertext:
+    """Homomorphic subtraction."""
+    return GlweCiphertext(poly_sub(x.data, y.data))
+
+
+def glwe_rotate(ct: GlweCiphertext, t: int) -> GlweCiphertext:
+    """Multiply every component polynomial by ``X^t`` (blind-rotation step)."""
+    return GlweCiphertext(monomial_mul(ct.data, t))
+
+
+def sample_extract(ct: GlweCiphertext, coefficient: int = 0) -> LweCiphertext:
+    """Extract the LWE encryption of one message coefficient (Algorithm 1, SE).
+
+    Pure data re-grouping: coefficient ``h`` of the phase polynomial equals
+    an LWE sample under the flattened key
+    :meth:`GlweSecretKey.extracted_lwe_bits`.
+    """
+    k, n = ct.k, ct.N
+    if not 0 <= coefficient < n:
+        raise ValueError(f"coefficient index out of range: {coefficient}")
+    h = coefficient
+    a = np.empty((k, n), dtype=np.int64)
+    masks = ct.masks.astype(np.int64)
+    for i in range(k):
+        # a'_{i,j} = A_i[h-j] for j <= h, and -A_i[N+h-j] for j > h.
+        rolled = np.concatenate((masks[i, h::-1], -masks[i, :h:-1]))
+        a[i] = rolled
+    return LweCiphertext(to_torus(a.reshape(-1)), ct.body[h])

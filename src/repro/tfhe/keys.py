@@ -1,0 +1,124 @@
+"""Key material: secret keys, bootstrapping key (BSK), key-switching key (KSK).
+
+The BSK is ``n`` GGSW encryptions of the LWE key bits under the GLWE key
+(Section II-A); the KSK is ``k*N x l_k`` LWE encryptions of the scaled
+extracted-GLWE key bits under the original LWE key.  ``KeySet`` bundles
+everything a server needs to bootstrap (no secret material beyond what the
+scheme itself publishes as evaluation keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..params import TFHEParams
+from .ggsw import GgswCiphertext, ggsw_encrypt
+from .glwe import GlweSecretKey, glwe_keygen
+from .lwe import LweCiphertext, LweSecretKey, gaussian_torus_noise, lwe_keygen
+from .torus import TORUS_DTYPE, to_torus
+
+__all__ = ["KeySwitchingKey", "KeySet", "generate_keyset", "make_ksk"]
+
+
+@dataclass
+class KeySwitchingKey:
+    """KSK from an input LWE key of dimension ``m`` to an output key of dimension ``n``.
+
+    ``masks`` has shape ``(m, l_k, n)`` and ``bodies`` shape ``(m, l_k)``:
+    entry ``(i, j)`` is the LWE encryption of
+    ``in_bit_i * q / beta_ks**(j+1)`` under the output key.
+    """
+
+    masks: np.ndarray
+    bodies: np.ndarray
+    beta_ks_bits: int
+
+    def __post_init__(self) -> None:
+        self.masks = np.asarray(self.masks, dtype=TORUS_DTYPE)
+        self.bodies = np.asarray(self.bodies, dtype=TORUS_DTYPE)
+        if self.masks.ndim != 3 or self.bodies.shape != self.masks.shape[:2]:
+            raise ValueError("inconsistent KSK shapes")
+
+    @property
+    def in_dimension(self) -> int:
+        return self.masks.shape[0]
+
+    @property
+    def l_k(self) -> int:
+        return self.masks.shape[1]
+
+    @property
+    def out_dimension(self) -> int:
+        return self.masks.shape[2]
+
+
+def make_ksk(
+    in_bits: np.ndarray,
+    out_key: LweSecretKey,
+    beta_ks_bits: int,
+    l_k: int,
+    rng: np.random.Generator,
+    noise_log2: float = -15.0,
+    q_bits: int = 32,
+) -> KeySwitchingKey:
+    """Build a key-switching key from ``in_bits`` to ``out_key``."""
+    in_bits = np.asarray(in_bits, dtype=np.int64)
+    m = in_bits.shape[0]
+    n = out_key.n
+    masks = rng.integers(0, 1 << 32, size=(m, l_k, n), dtype=np.uint64).astype(TORUS_DTYPE)
+    noise = gaussian_torus_noise(rng, noise_log2, shape=(m, l_k))
+    mask_dot = (
+        (masks.astype(np.uint64) * out_key.bits.astype(np.uint64)[None, None, :])
+        .sum(axis=-1) & np.uint64(0xFFFFFFFF)
+    ).astype(TORUS_DTYPE)
+    weights = np.array(
+        [1 << (q_bits - beta_ks_bits * (j + 1)) for j in range(l_k)], dtype=np.int64
+    )
+    plain = to_torus(in_bits[:, None] * weights[None, :])
+    bodies = (mask_dot + plain + noise).astype(TORUS_DTYPE)
+    return KeySwitchingKey(masks, bodies, beta_ks_bits)
+
+
+@dataclass
+class KeySet:
+    """Everything needed to evaluate bootstrapping on a server.
+
+    ``lwe_key``/``glwe_key`` are the client's secret keys - kept here so
+    tests and examples can decrypt, never consumed by the evaluation path.
+    """
+
+    params: TFHEParams
+    lwe_key: LweSecretKey
+    glwe_key: GlweSecretKey
+    bsk: list
+    ksk: KeySwitchingKey
+
+    def bsk_spectra(self) -> list:
+        """Pre-compute (and cache) every BSK GGSW transform image."""
+        return [g.spectrum() for g in self.bsk]
+
+
+def generate_keyset(params: TFHEParams, rng: np.random.Generator) -> KeySet:
+    """Generate the full TFHE key material for ``params``.
+
+    The BSK encrypts each LWE key bit ``s_i`` as a GGSW under the GLWE
+    key; the KSK switches the extracted ``k*N``-dimension key back down to
+    the original ``n``-dimension LWE key.
+    """
+    lwe_key = lwe_keygen(params.n, rng)
+    glwe_key = glwe_keygen(params.k, params.N, rng)
+    bsk = [
+        ggsw_encrypt(
+            int(bit), glwe_key, params.beta_bits, params.l_b, rng,
+            noise_log2=params.glwe_noise_log2, q_bits=params.q_bits,
+        )
+        for bit in lwe_key.bits
+    ]
+    ksk = make_ksk(
+        glwe_key.extracted_lwe_bits(), lwe_key,
+        params.beta_ks_bits, params.l_k, rng,
+        noise_log2=params.lwe_noise_log2, q_bits=params.q_bits,
+    )
+    return KeySet(params, lwe_key, glwe_key, bsk, ksk)

@@ -1,0 +1,108 @@
+"""Multi-LUT programmable bootstrapping: many functions, one blind rotation.
+
+Blind rotation is ~97 % of the bootstrap; sample extraction is free.  If
+several functions of the *same* input are needed (e.g. an activation and
+its requantization), the test polynomial can interleave ``L`` lookup
+tables at sub-window granularity and a single blind rotation serves all
+of them - each function's value sits at extraction offset ``j * s`` with
+``s = 2N / (p * L)`` (the PBS-many-LUT technique of the TFHE literature).
+
+The price is noise headroom: the tolerated phase error shrinks from
+``1/(2p)`` to ``1/(2pL)``, i.e. the multi-LUT spends ``log2(L)`` bits of
+padding.  :func:`max_luts_for_params` says how far a parameter set can
+push ``L``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..params import TFHEParams
+from .bootstrap import blind_rotate, key_switch, modulus_switch
+from .encoding import extend_lut_antiperiodic
+from .glwe import sample_extract
+from .keys import KeySet
+from .lwe import LweCiphertext
+from .noise import bootstrap_output_noise_std_log2
+from .torus import encode_message
+
+__all__ = [
+    "make_multi_test_polynomial",
+    "multi_lut_bootstrap",
+    "max_luts_for_params",
+]
+
+
+def make_multi_test_polynomial(luts, params: TFHEParams, p: int) -> np.ndarray:
+    """Interleave ``L`` lookup tables into one test polynomial.
+
+    ``luts`` is a sequence of length-``p/2`` tables (or callables over
+    ``[0, p/2)``).  Coefficient ``x`` holds function ``q mod L`` of
+    message ``q // L`` where ``q = round(x / s)`` - so extracting
+    coefficient ``j * s`` after blind rotation evaluates table ``j``.
+    """
+    L = len(luts)
+    if L < 1:
+        raise ValueError("need at least one lookup table")
+    stride = (2 * params.N) // (p * L)
+    if stride < 1:
+        raise ValueError(
+            f"{L} tables at p={p} exceed the polynomial resolution "
+            f"(need p*L <= 2N = {2 * params.N})"
+        )
+    tables = []
+    for lut in luts:
+        values = np.asarray(
+            [lut(x) if callable(lut) else lut[x] for x in range(p // 2)],
+            dtype=np.int64,
+        )
+        tables.append(extend_lut_antiperiodic(values, p))
+    x = np.arange(params.N)
+    q = (x + stride // 2) // stride
+    table_idx = q % L
+    message = (q // L) % p
+    coeffs = np.empty(params.N, dtype=np.int64)
+    for j in range(L):
+        mask = table_idx == j
+        coeffs[mask] = tables[j][message[mask]] % p
+    return encode_message(coeffs, p, params.q_bits)
+
+
+def multi_lut_bootstrap(
+    ct: LweCiphertext,
+    luts,
+    keyset: KeySet,
+    p: int,
+    engine: str = "transform",
+) -> list:
+    """Evaluate every table in ``luts`` with ONE blind rotation.
+
+    Returns one LWE ciphertext per table, each key-switched back to the
+    input key - ``L`` results for roughly the cost of one bootstrap.
+    """
+    params = keyset.params
+    L = len(luts)
+    test_poly = make_multi_test_polynomial(luts, params, p)
+    stride = (2 * params.N) // (p * L)
+    a_tilde, b_tilde = modulus_switch(ct, params.N)
+    acc = blind_rotate(a_tilde, b_tilde, test_poly, keyset, engine=engine)
+    outputs = []
+    for j in range(L):
+        extracted = sample_extract(acc, j * stride)
+        outputs.append(key_switch(extracted, keyset.ksk))
+    return outputs
+
+
+def max_luts_for_params(params: TFHEParams, p: int, sigmas: float = 4.0) -> int:
+    """Largest ``L`` the noise budget supports for this parameter set.
+
+    The blind-rotation input noise must stay below ``1/(2pL)`` with a
+    ``sigmas`` margin; we bound it by the *output* noise of a previous
+    bootstrap (the steady-state regime) plus the modulus-switch error.
+    """
+    noise_std = 2.0 ** bootstrap_output_noise_std_log2(params)
+    ms_std = ((params.n + 1) / 12.0) ** 0.5 / (2 * params.N)
+    total = (noise_std ** 2 + ms_std ** 2) ** 0.5
+    limit = 1.0 / (2 * p * sigmas * total)
+    resolution = (2 * params.N) // p  # stride must stay >= 1
+    return max(1, min(int(limit), resolution))

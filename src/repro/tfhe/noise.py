@@ -1,0 +1,106 @@
+"""Noise variance tracking and measurement.
+
+Theoretical variance formulas follow the CGGI/TFHE analysis (paper
+references [14], [34], [35]): the external product adds noise linear in
+``beta`` and the decomposition error, key switching adds noise linear in
+the KSK digits.  The measurement helpers decrypt with the secret key and
+report centered phase error, letting tests assert that observed noise
+stays within the predicted budget - the same check the paper's functional
+verification performs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..params import TFHEParams
+from .glwe import GlweCiphertext, GlweSecretKey, glwe_decrypt_phase
+from .lwe import LweCiphertext, LweSecretKey, lwe_decrypt_phase
+
+__all__ = [
+    "external_product_noise_variance",
+    "blind_rotation_noise_variance",
+    "key_switch_noise_variance",
+    "bootstrap_output_noise_std_log2",
+    "max_noise_for_message_modulus",
+    "measure_lwe_noise",
+    "measure_glwe_noise",
+]
+
+_Q = 2.0 ** 32
+
+
+def _var_from_log2(std_log2: float) -> float:
+    """Variance (torus units) of a Gaussian with stddev ``2**std_log2``."""
+    return (2.0 ** std_log2) ** 2
+
+
+def external_product_noise_variance(params: TFHEParams, input_variance: float) -> float:
+    """Output noise variance of one external product (torus units).
+
+    ``V_out ~= (k+1) * l_b * N * (beta/2)**2 * V_ggsw
+    + input_variance + V_decomp``
+    where the decomposition error contributes
+    ``(1 + k*N) * eps**2 / 12`` with ``eps = 1/beta**l_b`` (uniform
+    rounding error model).
+    """
+    beta = float(params.beta)
+    v_ggsw = _var_from_log2(params.glwe_noise_log2)
+    gadget_term = (params.k + 1) * params.l_b * params.N * (beta / 2.0) ** 2 * v_ggsw
+    eps = beta ** (-params.l_b)
+    decomp_term = (1 + params.k * params.N) * (eps ** 2) / 12.0
+    return gadget_term + input_variance + decomp_term
+
+
+def blind_rotation_noise_variance(params: TFHEParams) -> float:
+    """Noise variance after ``n`` chained external products (fresh TP start)."""
+    variance = 0.0
+    per_step = external_product_noise_variance(params, 0.0)
+    return params.n * per_step + variance
+
+
+def key_switch_noise_variance(params: TFHEParams, input_variance: float) -> float:
+    """Noise variance added by key switching the extracted ciphertext."""
+    v_ksk = _var_from_log2(params.lwe_noise_log2)
+    kn = params.k * params.N
+    digit_term = kn * params.l_k * ((params.beta_ks / 2.0) ** 2 / 3.0) * v_ksk
+    eps = float(params.beta_ks) ** (-params.l_k)
+    decomp_term = kn * (eps ** 2) / 12.0
+    return input_variance + digit_term + decomp_term
+
+
+def bootstrap_output_noise_std_log2(params: TFHEParams) -> float:
+    """Predicted stddev (log2, torus units) of a bootstrapped ciphertext."""
+    v = key_switch_noise_variance(params, blind_rotation_noise_variance(params))
+    return 0.5 * math.log2(max(v, 1e-300))
+
+
+def max_noise_for_message_modulus(p: int) -> float:
+    """Largest tolerable |phase error| (torus units) for correct decoding.
+
+    Decoding rounds to the nearest multiple of ``1/p``; the error budget is
+    half a step.
+    """
+    return 1.0 / (2.0 * p)
+
+
+def _centered_torus_error(phase: np.ndarray, expected: np.ndarray) -> np.ndarray:
+    """Centered distance on the torus between observed and expected numerators."""
+    diff = (np.asarray(phase, np.uint32).astype(np.int64)
+            - np.asarray(expected, np.uint32).astype(np.int64))
+    diff = (diff + (1 << 31)) % (1 << 32) - (1 << 31)
+    return diff / _Q
+
+
+def measure_lwe_noise(ct: LweCiphertext, key: LweSecretKey, expected_torus: int) -> float:
+    """Observed phase error of an LWE ciphertext, in torus units."""
+    phase = lwe_decrypt_phase(ct, key)
+    return float(_centered_torus_error(np.asarray(phase), np.asarray(expected_torus))[()])
+
+
+def measure_glwe_noise(ct: GlweCiphertext, key: GlweSecretKey, expected_poly: np.ndarray) -> np.ndarray:
+    """Observed per-coefficient phase error of a GLWE ciphertext."""
+    phase = glwe_decrypt_phase(ct, key)
+    return _centered_torus_error(phase, expected_poly)

@@ -1,0 +1,119 @@
+"""Packing key switch: many LWE ciphertexts into one GLWE ciphertext.
+
+The dual of sample extraction: given LWE encryptions of scalars
+``m_0..m_{t-1}`` under the small key, produce a GLWE encryption of the
+polynomial ``sum_h m_h X^h`` under the GLWE key.  This is the standard
+LWE-to-GLWE packing key switch of the TFHE toolbox - it lets linear
+layers run polynomial-wise (one negacyclic product computes a whole
+dot-product diagonal) and is the gateway to the batched programmable
+bootstrap variants.
+
+Construction: a packing key-switching key holds, for every input key bit
+``i`` and level ``j``, a GLWE encryption of ``s_i * q/beta^(j+1)``
+(a *constant* polynomial).  Packing ciphertext ``h`` decomposes its mask
+digits and accumulates ``digit * X^h * PKSK_(i,j)``; the body lands on
+coefficient ``h`` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..params import TFHEParams
+from .decomposition import decompose
+from .glwe import GlweCiphertext, GlweSecretKey, glwe_encrypt
+from .keys import KeySet
+from .lwe import LweCiphertext, LweSecretKey
+from .polynomial import monomial_mul
+from .torus import TORUS_DTYPE, to_torus
+
+__all__ = ["PackingKeySwitchingKey", "make_packing_ksk", "pack_lwes"]
+
+
+@dataclass
+class PackingKeySwitchingKey:
+    """GLWE encryptions of ``s_i * q/beta^(j+1)`` for every (i, j).
+
+    ``data`` has shape ``(n, l_pk, k+1, N)``.
+    """
+
+    data: np.ndarray
+    beta_bits: int
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=TORUS_DTYPE)
+        if self.data.ndim != 4:
+            raise ValueError("packing KSK must have shape (n, l, k+1, N)")
+
+    @property
+    def in_dimension(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def levels(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def N(self) -> int:
+        return self.data.shape[3]
+
+
+def make_packing_ksk(
+    lwe_key: LweSecretKey,
+    glwe_key: GlweSecretKey,
+    beta_bits: int,
+    levels: int,
+    rng: np.random.Generator,
+    noise_log2: float = -25.0,
+    q_bits: int = 32,
+) -> PackingKeySwitchingKey:
+    """Build the packing key from the small LWE key to the GLWE key."""
+    if beta_bits * levels > q_bits:
+        raise ValueError("decomposition exceeds the modulus width")
+    n = lwe_key.n
+    data = np.empty((n, levels, glwe_key.k + 1, glwe_key.N), dtype=TORUS_DTYPE)
+    for i in range(n):
+        for j in range(levels):
+            message = np.zeros(glwe_key.N, dtype=TORUS_DTYPE)
+            weight = np.int64(int(lwe_key.bits[i])) * (1 << (q_bits - beta_bits * (j + 1)))
+            message[0] = to_torus(weight)[()]
+            data[i, j] = glwe_encrypt(message, glwe_key, rng, noise_log2).data
+    return PackingKeySwitchingKey(data, beta_bits)
+
+
+def pack_lwes(
+    cts: list,
+    pksk: PackingKeySwitchingKey,
+    k: int,
+) -> GlweCiphertext:
+    """Pack up to ``N`` LWE ciphertexts into one GLWE ciphertext.
+
+    Ciphertext ``h`` lands on coefficient ``h`` of the packed message
+    polynomial.  ``k`` is the GLWE dimension of the output.
+    """
+    if not cts:
+        raise ValueError("nothing to pack")
+    n_dim = cts[0].n
+    if n_dim != pksk.in_dimension:
+        raise ValueError("LWE dimension does not match the packing key")
+    N = pksk.N
+    if len(cts) > N:
+        raise ValueError(f"cannot pack {len(cts)} ciphertexts into degree {N}")
+    acc = np.zeros((k + 1, N), dtype=np.int64)
+    for h, ct in enumerate(cts):
+        if ct.n != n_dim:
+            raise ValueError("mixed LWE dimensions")
+        # Body contribution: b_h * X^h on the output body row.
+        body_poly = np.zeros(N, dtype=TORUS_DTYPE)
+        body_poly[0] = ct.b
+        acc[k] += monomial_mul(body_poly, h).astype(np.int64)
+        # Mask contribution: -sum_i sum_j digit_(i,j) * X^h * PKSK_(i,j).
+        digits = decompose(ct.a[None, :], pksk.beta_bits, pksk.levels)[0]  # (l, n)
+        for j in range(pksk.levels):
+            for i in np.nonzero(digits[j])[0]:
+                d = int(digits[j, i])
+                rotated = monomial_mul(pksk.data[i, j], h)
+                acc -= d * rotated.astype(np.int32).astype(np.int64)
+    return GlweCiphertext(to_torus(acc))

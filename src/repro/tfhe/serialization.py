@@ -1,0 +1,130 @@
+"""Serialization of keys and ciphertexts (numpy ``.npz`` containers).
+
+A production TFHE deployment separates the client (holds secret keys,
+encrypts/decrypts) from the server (holds only evaluation keys, runs
+bootstraps).  These helpers persist each artifact so the two halves can
+live in different processes:
+
+- :func:`save_keyset` / :func:`load_keyset` - the full key material
+  (client side; includes secrets);
+- :func:`save_evaluation_keys` / :func:`load_evaluation_keys` - only the
+  BSK + KSK a server needs (returns a :class:`~repro.tfhe.keys.KeySet`
+  whose secret fields are ``None``);
+- :func:`save_ciphertext` / :func:`load_ciphertext` for single LWE
+  samples.
+
+Formats are plain ``.npz`` archives with a version tag; no pickling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..params import TFHEParams
+from .ggsw import GgswCiphertext
+from .glwe import GlweSecretKey
+from .keys import KeySet, KeySwitchingKey
+from .lwe import LweCiphertext, LweSecretKey
+
+__all__ = [
+    "FORMAT_VERSION",
+    "save_keyset",
+    "load_keyset",
+    "save_evaluation_keys",
+    "load_evaluation_keys",
+    "save_ciphertext",
+    "load_ciphertext",
+]
+
+FORMAT_VERSION = 1
+
+
+def _params_record(params: TFHEParams) -> np.ndarray:
+    return np.array([
+        params.N, params.n, params.k, params.l_b, params.lam,
+        params.q_bits, params.beta_bits, params.l_k, params.beta_ks_bits,
+    ], dtype=np.int64)
+
+
+def _params_from_record(record: np.ndarray, name: str) -> TFHEParams:
+    N, n, k, l_b, lam, q_bits, beta_bits, l_k, beta_ks_bits = (int(x) for x in record)
+    return TFHEParams(name, N=N, n=n, k=k, l_b=l_b, lam=lam, q_bits=q_bits,
+                      beta_bits=beta_bits, l_k=l_k, beta_ks_bits=beta_ks_bits)
+
+
+def _common_arrays(keyset: KeySet) -> dict:
+    bsk_rows = np.stack([g.rows for g in keyset.bsk])
+    return {
+        "version": np.array([FORMAT_VERSION]),
+        "params": _params_record(keyset.params),
+        "params_name": np.array([keyset.params.name]),
+        "bsk_rows": bsk_rows,
+        "ksk_masks": keyset.ksk.masks,
+        "ksk_bodies": keyset.ksk.bodies,
+    }
+
+
+def _check_version(data) -> None:
+    version = int(data["version"][0])
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {version}")
+
+
+def _rebuild_keys(data, with_secrets: bool) -> KeySet:
+    params = _params_from_record(data["params"], str(data["params_name"][0]))
+    bsk = [
+        GgswCiphertext(rows, params.beta_bits) for rows in data["bsk_rows"]
+    ]
+    ksk = KeySwitchingKey(data["ksk_masks"], data["ksk_bodies"], params.beta_ks_bits)
+    if with_secrets:
+        lwe_key = LweSecretKey(data["lwe_key"])
+        glwe_key = GlweSecretKey(data["glwe_key"])
+    else:
+        lwe_key = None
+        glwe_key = None
+    return KeySet(params, lwe_key, glwe_key, bsk, ksk)
+
+
+def save_keyset(path, keyset: KeySet) -> None:
+    """Persist the full keyset, secrets included (client side)."""
+    if keyset.lwe_key is None or keyset.glwe_key is None:
+        raise ValueError("keyset has no secret keys; use save_evaluation_keys")
+    arrays = _common_arrays(keyset)
+    arrays["lwe_key"] = keyset.lwe_key.bits
+    arrays["glwe_key"] = keyset.glwe_key.polys
+    np.savez_compressed(path, **arrays)
+
+
+def load_keyset(path) -> KeySet:
+    """Load a full keyset saved by :func:`save_keyset`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check_version(data)
+        if "lwe_key" not in data:
+            raise ValueError("archive holds evaluation keys only")
+        return _rebuild_keys(data, with_secrets=True)
+
+
+def save_evaluation_keys(path, keyset: KeySet) -> None:
+    """Persist only what a server needs: BSK + KSK (no secrets)."""
+    np.savez_compressed(path, **_common_arrays(keyset))
+
+
+def load_evaluation_keys(path) -> KeySet:
+    """Load server-side keys; the secret fields are ``None``."""
+    with np.load(path, allow_pickle=False) as data:
+        _check_version(data)
+        return _rebuild_keys(data, with_secrets=False)
+
+
+def save_ciphertext(path, ct: LweCiphertext) -> None:
+    """Persist one LWE ciphertext."""
+    np.savez_compressed(
+        path, version=np.array([FORMAT_VERSION]), a=ct.a, b=np.array([ct.b])
+    )
+
+
+def load_ciphertext(path) -> LweCiphertext:
+    """Load one LWE ciphertext."""
+    with np.load(path, allow_pickle=False) as data:
+        _check_version(data)
+        return LweCiphertext(data["a"], data["b"][0])

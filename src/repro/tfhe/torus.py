@@ -1,0 +1,137 @@
+"""Discretized-torus arithmetic.
+
+TFHE ciphertext elements live on the torus ``T = R/Z``, implemented as the
+discretized torus ``T_q = {0, 1/q, ..., (q-1)/q}`` with ``q = 2**32``
+(Section II-A).  We represent torus elements by their numerators: unsigned
+integers modulo ``q`` held in ``numpy.uint32`` arrays, so addition and
+scalar multiplication are native wrapping integer ops.
+
+All helpers here are dtype-strict: they accept/return ``uint32`` (or int64
+intermediaries) and centralize the rounding/lifting conventions the rest of
+the scheme relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "TORUS_DTYPE",
+    "u32",
+    "Q_BITS",
+    "Q",
+    "to_torus",
+    "from_double",
+    "to_double",
+    "to_signed",
+    "from_signed",
+    "encode_message",
+    "decode_message",
+    "round_to_multiple",
+    "torus_add",
+    "torus_sub",
+    "torus_neg",
+    "torus_scalar_mul",
+    "modswitch",
+]
+
+TORUS_DTYPE = np.uint32
+Q_BITS = 32
+Q = 1 << Q_BITS
+
+
+def u32(value) -> np.uint32:
+    """Reduce a python/numpy scalar into ``T_q`` without overflow warnings."""
+    return TORUS_DTYPE(int(value) & 0xFFFFFFFF)
+
+
+def to_torus(values, q_bits: int = Q_BITS) -> np.ndarray:
+    """Reduce arbitrary integers into ``T_q`` numerators (uint32)."""
+    arr = np.asarray(values)
+    return (arr.astype(np.int64) & ((1 << q_bits) - 1)).astype(TORUS_DTYPE)
+
+
+def from_double(x, q_bits: int = Q_BITS) -> np.ndarray:
+    """Map real numbers (interpreted mod 1) onto ``T_q`` numerators."""
+    arr = np.asarray(x, dtype=np.float64)
+    frac = arr - np.floor(arr)
+    return (np.round(frac * (1 << q_bits)).astype(np.int64) & ((1 << q_bits) - 1)).astype(TORUS_DTYPE)
+
+
+def to_double(t, q_bits: int = Q_BITS) -> np.ndarray:
+    """Torus numerators -> real representatives in [0, 1)."""
+    return np.asarray(t, dtype=np.float64) / (1 << q_bits)
+
+
+def to_signed(t) -> np.ndarray:
+    """Lift torus numerators to centered representatives in [-q/2, q/2)."""
+    return np.asarray(t, dtype=TORUS_DTYPE).astype(np.int32).astype(np.int64)
+
+
+def from_signed(s, q_bits: int = Q_BITS) -> np.ndarray:
+    """Reduce centered representatives back into ``T_q`` numerators."""
+    return to_torus(s, q_bits)
+
+
+def encode_message(m, p: int, q_bits: int = Q_BITS) -> np.ndarray:
+    """Encode plaintext(s) ``m`` from ``Z_p`` into the torus: ``m * q/p``.
+
+    ``p`` is the plaintext modulus (message space size); it must divide
+    ``q`` evenly for exact encoding, i.e. be a power of two <= ``q``.
+    """
+    if p <= 0 or p & (p - 1):
+        raise ValueError(f"plaintext modulus must be a power of two, got {p}")
+    if p > (1 << q_bits):
+        raise ValueError("plaintext modulus exceeds ciphertext modulus")
+    scale = (1 << q_bits) // p
+    return to_torus(np.asarray(m, dtype=np.int64) * scale, q_bits)
+
+
+def decode_message(t, p: int, q_bits: int = Q_BITS) -> np.ndarray:
+    """Decode noisy torus numerators back to ``Z_p`` by nearest-multiple rounding."""
+    if p <= 0 or p & (p - 1):
+        raise ValueError(f"plaintext modulus must be a power of two, got {p}")
+    scale = (1 << q_bits) // p
+    t64 = np.asarray(t, dtype=np.uint32).astype(np.int64)
+    return ((t64 + scale // 2) // scale) % p
+
+
+def round_to_multiple(t, scale: int) -> np.ndarray:
+    """Round torus numerators to the nearest multiple of ``scale`` (mod q)."""
+    t64 = np.asarray(t, dtype=np.uint32).astype(np.int64)
+    return to_torus((t64 + scale // 2) // scale * scale)
+
+
+def torus_add(a, b) -> np.ndarray:
+    """Wrapping torus addition."""
+    return (np.asarray(a, TORUS_DTYPE) + np.asarray(b, TORUS_DTYPE)).astype(TORUS_DTYPE)
+
+
+def torus_sub(a, b) -> np.ndarray:
+    """Wrapping torus subtraction."""
+    return (np.asarray(a, TORUS_DTYPE) - np.asarray(b, TORUS_DTYPE)).astype(TORUS_DTYPE)
+
+
+def torus_neg(a) -> np.ndarray:
+    """Torus negation."""
+    return (-np.asarray(a, TORUS_DTYPE)).astype(TORUS_DTYPE)
+
+
+def torus_scalar_mul(scalar, t) -> np.ndarray:
+    """Multiply torus elements by (signed or unsigned) integers, wrapping."""
+    s = np.asarray(scalar, dtype=np.int64).astype(np.uint64)
+    t64 = np.asarray(t, TORUS_DTYPE).astype(np.uint64)
+    return ((s * t64) & np.uint64(Q - 1)).astype(TORUS_DTYPE)
+
+
+def modswitch(t, new_modulus: int, q_bits: int = Q_BITS) -> np.ndarray:
+    """Switch torus numerators from modulus ``q`` to ``new_modulus``.
+
+    Computes ``round(new_modulus * t / q) mod new_modulus`` - the paper's
+    MS step with ``new_modulus = 2N`` (Algorithm 1, line 1).
+    """
+    if new_modulus <= 0:
+        raise ValueError("new modulus must be positive")
+    t64 = np.asarray(t, dtype=np.uint32).astype(np.int64)
+    q = 1 << q_bits
+    return ((t64 * new_modulus + q // 2) // q) % new_modulus

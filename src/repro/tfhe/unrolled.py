@@ -1,0 +1,160 @@
+"""Bootstrapping-key unrolling: two blind-rotation steps per iteration.
+
+MATCHA (the paper's reference [28], building on [59] and [60]) halves the
+*sequential depth* of blind rotation by pairing key bits: for the pair
+``(s_i, s_j)``,
+
+``X^{a_i s_i + a_j s_j} = s_i s_j X^{a_i+a_j} + s_i (1-s_j) X^{a_i}
++ (1-s_i) s_j X^{a_j} + (1-s_i)(1-s_j)``
+
+so one *unrolled* iteration computes
+
+``ACC <- BSK_ij^(11) ⊡ (X^{a_i+a_j}-1)ACC + BSK_ij^(10) ⊡ (X^{a_i}-1)ACC
++ BSK_ij^(01) ⊡ (X^{a_j}-1)ACC + ACC``
+
+with three GGSW ciphertexts per pair (the ``00`` term is the identity).
+The trade-off the paper leans on when comparing against MATCHA: the
+unrolled key is 1.5x larger and each iteration does 3 external products
+instead of 2, but there are only ``n/2`` sequential iterations - a
+latency-for-bandwidth trade.  ``unrolled_blind_rotation_tradeoff``
+quantifies it for the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..params import TFHEParams
+from .bootstrap import key_switch
+from .ggsw import GgswCiphertext, external_product_transform, ggsw_encrypt
+from .glwe import GlweCiphertext, glwe_rotate, glwe_trivial, sample_extract
+from .keys import KeySet
+from .lwe import LweCiphertext
+from .bootstrap import modulus_switch
+
+__all__ = [
+    "UnrolledBsk",
+    "generate_unrolled_bsk",
+    "blind_rotate_unrolled",
+    "programmable_bootstrap_unrolled",
+    "unrolled_blind_rotation_tradeoff",
+]
+
+
+@dataclass
+class UnrolledBsk:
+    """Unrolled bootstrapping key: 3 GGSWs per key-bit pair.
+
+    ``pairs[p] = (bsk_11, bsk_10, bsk_01)`` encrypting ``s_i*s_j``,
+    ``s_i*(1-s_j)`` and ``(1-s_i)*s_j`` for the pair ``(2p, 2p+1)``.
+    An odd trailing bit keeps its ordinary GGSW in ``tail``.
+    """
+
+    pairs: list
+    tail: GgswCiphertext = None
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pairs)
+
+    def ggsw_count(self) -> int:
+        return 3 * self.num_pairs + (1 if self.tail is not None else 0)
+
+
+def generate_unrolled_bsk(keyset: KeySet, rng: np.random.Generator) -> UnrolledBsk:
+    """Build the unrolled key from the secret LWE key bits.
+
+    Requires the client-side secret key (key generation is a client
+    operation in TFHE; the server only ever sees the GGSW outputs).
+    """
+    if keyset.lwe_key is None:
+        raise ValueError("unrolled key generation needs the secret LWE key")
+    params = keyset.params
+    bits = keyset.lwe_key.bits
+    pairs = []
+    i = 0
+    while i + 1 < params.n:
+        s_i, s_j = int(bits[i]), int(bits[i + 1])
+        enc = lambda m: ggsw_encrypt(
+            m, keyset.glwe_key, params.beta_bits, params.l_b, rng,
+            noise_log2=params.glwe_noise_log2, q_bits=params.q_bits,
+        )
+        pairs.append((enc(s_i * s_j), enc(s_i * (1 - s_j)), enc((1 - s_i) * s_j)))
+        i += 2
+    tail = keyset.bsk[params.n - 1] if params.n % 2 else None
+    return UnrolledBsk(pairs, tail)
+
+
+def _cmux_term(ggsw: GgswCiphertext, acc: GlweCiphertext, rotation: int) -> np.ndarray:
+    """``GGSW ⊡ (X^rotation * ACC - ACC)`` as raw component data."""
+    diff = GlweCiphertext(glwe_rotate(acc, rotation).data - acc.data)
+    return external_product_transform(ggsw, diff).data
+
+
+def blind_rotate_unrolled(
+    a_tilde: np.ndarray,
+    b_tilde: int,
+    test_poly: np.ndarray,
+    keyset: KeySet,
+    unrolled: UnrolledBsk,
+) -> GlweCiphertext:
+    """Blind rotation with two mask elements consumed per iteration."""
+    params = keyset.params
+    acc = glwe_rotate(glwe_trivial(test_poly, params.k), -b_tilde)
+    for p, (bsk_11, bsk_10, bsk_01) in enumerate(unrolled.pairs):
+        t_i = int(a_tilde[2 * p])
+        t_j = int(a_tilde[2 * p + 1])
+        if t_i == 0 and t_j == 0:
+            continue
+        data = acc.data.copy()
+        data = data + _cmux_term(bsk_11, acc, t_i + t_j)
+        data = data + _cmux_term(bsk_10, acc, t_i)
+        data = data + _cmux_term(bsk_01, acc, t_j)
+        acc = GlweCiphertext(data)
+    if unrolled.tail is not None:
+        t = int(a_tilde[params.n - 1])
+        if t:
+            acc = GlweCiphertext(acc.data + _cmux_term(unrolled.tail, acc, t))
+    return acc
+
+
+def programmable_bootstrap_unrolled(
+    ct: LweCiphertext,
+    test_poly: np.ndarray,
+    keyset: KeySet,
+    unrolled: UnrolledBsk,
+) -> LweCiphertext:
+    """Full bootstrap using the unrolled blind rotation."""
+    params = keyset.params
+    a_tilde, b_tilde = modulus_switch(ct, params.N)
+    acc = blind_rotate_unrolled(a_tilde, b_tilde, test_poly, keyset, unrolled)
+    return key_switch(sample_extract(acc, 0), keyset.ksk)
+
+
+def unrolled_blind_rotation_tradeoff(params: TFHEParams) -> dict:
+    """Quantify the unrolling trade (for the performance model).
+
+    Returns sequential iterations, external products, and BSK bytes for
+    the plain and unrolled variants - the numbers behind the paper's
+    observation that MATCHA trades key size for latency while Morphling
+    goes after throughput instead.
+    """
+    pairs = params.n // 2
+    tail = params.n % 2
+    plain_products = params.n
+    unrolled_products = 3 * pairs + tail
+    ggsw_bytes = (
+        params.polynomials_per_ggsw * params.N * params.coeff_bytes
+    )
+    return {
+        "plain_iterations": params.n,
+        "unrolled_iterations": pairs + tail,
+        "plain_external_products": plain_products,
+        "unrolled_external_products": unrolled_products,
+        "plain_bsk_bytes": params.n * ggsw_bytes,
+        "unrolled_bsk_bytes": (3 * pairs + tail) * ggsw_bytes,
+        "latency_ratio": (pairs + tail) / params.n,
+        "work_ratio": unrolled_products / plain_products,
+    }

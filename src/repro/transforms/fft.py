@@ -1,0 +1,107 @@
+"""From-scratch radix-2 decimation-in-time FFT.
+
+Morphling's datapath is built around pipelined FFT hardware; this module is
+the *functional* counterpart: an iterative radix-2 FFT implemented directly
+(no ``numpy.fft``), vectorized with numpy so the TFHE substrate stays fast.
+The iterative butterfly structure mirrors the multi-delay-commutator
+pipeline modelled in :mod:`repro.transforms.pipeline_model` - ``log2(n)``
+stages of butterflies with per-stage twiddle factors.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "bit_reverse_permutation",
+    "fft",
+    "ifft",
+    "fft_stage_count",
+    "fft_complex_multiplies",
+    "fft_real_multiplies",
+]
+
+_PERM_CACHE: dict = {}
+_TWIDDLE_CACHE: dict = {}
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Return the bit-reversal permutation for a power-of-two length ``n``."""
+    if n <= 0 or n & (n - 1):
+        raise ValueError(f"length must be a power of two, got {n}")
+    perm = _PERM_CACHE.get(n)
+    if perm is None:
+        bits = n.bit_length() - 1
+        idx = np.arange(n, dtype=np.int64)
+        perm = np.zeros(n, dtype=np.int64)
+        for _ in range(bits):
+            perm = (perm << 1) | (idx & 1)
+            idx >>= 1
+        _PERM_CACHE[n] = perm
+    return perm
+
+
+def _stage_twiddles(n: int) -> list:
+    """Twiddle factors per butterfly stage for an ``n``-point DIT FFT."""
+    tw = _TWIDDLE_CACHE.get(n)
+    if tw is None:
+        tw = []
+        size = 2
+        while size <= n:
+            half = size // 2
+            tw.append(np.exp(-2j * np.pi * np.arange(half) / size))
+            size *= 2
+        _TWIDDLE_CACHE[n] = tw
+    return tw
+
+
+def fft(x: np.ndarray) -> np.ndarray:
+    """Forward FFT of a complex vector (or batch of vectors on axis -1).
+
+    Iterative radix-2 decimation-in-time: bit-reverse the input then apply
+    ``log2(n)`` butterfly stages.  Accepts any shape; the transform runs
+    along the last axis, which must be a power of two.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[-1]
+    if n == 1:
+        return x.copy()
+    perm = bit_reverse_permutation(n)
+    out = x[..., perm].copy()
+    for stage, tw in enumerate(_stage_twiddles(n)):
+        size = 2 << stage
+        half = size // 2
+        blocks = out.reshape(x.shape[:-1] + (n // size, size))
+        even = blocks[..., :half]
+        odd = blocks[..., half:] * tw
+        blocks[..., :half], blocks[..., half:] = even + odd, even - odd
+    return out
+
+
+def ifft(x: np.ndarray) -> np.ndarray:
+    """Inverse FFT along the last axis (unitary pairing with :func:`fft`)."""
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[-1]
+    return np.conj(fft(np.conj(x))) / n
+
+
+# ---------------------------------------------------------------------------
+# Operation accounting (used by repro.analysis.opcount)
+# ---------------------------------------------------------------------------
+def fft_stage_count(n: int) -> int:
+    """Number of butterfly stages in an ``n``-point radix-2 FFT."""
+    if n <= 0 or n & (n - 1):
+        raise ValueError(f"length must be a power of two, got {n}")
+    return int(math.log2(n))
+
+
+def fft_complex_multiplies(n: int) -> int:
+    """Complex multiplications in an ``n``-point radix-2 FFT: (n/2)*log2(n)."""
+    return (n // 2) * fft_stage_count(n)
+
+
+def fft_real_multiplies(n: int) -> int:
+    """Real multiplications, counting one complex multiply as four."""
+    return 4 * fft_complex_multiplies(n)

@@ -1,0 +1,83 @@
+"""Merge-split FFT: two real-polynomial transforms through one FFT pass.
+
+Polynomial coefficients are real, so an FFT of the packed signal
+``z = p + i * r`` carries both transforms; the conjugate-symmetry split
+
+``P[k] = (Z[k] + conj(Z[-k])) / 2``  and  ``R[k] = (Z[k] - conj(Z[-k])) / 2i``
+
+recovers them.  Morphling implements exactly this in hardware (Section V-A3)
+with a small Coef buffer, an adder and a shifter, doubling the FFT unit's
+effective throughput.  This module provides the functional merge/split for
+the plain (cyclic) FFT, plus the negacyclic variant used by the TFHE
+substrate: since the negacyclic transform already folds real inputs into a
+complex signal, the negacyclic merge-split packs two *real* polynomials
+into the real/imaginary halves prior to twisting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fft import fft, ifft
+from .negacyclic import negacyclic_fft, negacyclic_ifft, transform_length
+
+__all__ = [
+    "merged_fft",
+    "split_spectra",
+    "merge_spectra",
+    "merged_ifft",
+    "negacyclic_fft_pair",
+    "negacyclic_ifft_pair",
+]
+
+
+def merged_fft(p: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """FFT of the packed signal ``p + i*r`` (both real, same length)."""
+    p = np.asarray(p, dtype=np.float64)
+    r = np.asarray(r, dtype=np.float64)
+    if p.shape != r.shape:
+        raise ValueError("merged polynomials must have identical shapes")
+    return fft(p + 1j * r)
+
+
+def split_spectra(z: np.ndarray) -> tuple:
+    """Split a merged spectrum into the two real-signal spectra.
+
+    Implements the conjugate-symmetry split; this is the hardware's
+    Coef-buffer + adder + shifter step.
+    """
+    zr = np.conj(np.roll(z[..., ::-1], 1, axis=-1))
+    p_spec = (z + zr) / 2
+    r_spec = (z - zr) / 2j
+    return p_spec, r_spec
+
+
+def merge_spectra(p_spec: np.ndarray, r_spec: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`split_spectra`: rebuild the packed spectrum."""
+    return p_spec + 1j * r_spec
+
+
+def merged_ifft(p_spec: np.ndarray, r_spec: np.ndarray) -> tuple:
+    """One IFFT pass returning both real signals (inverse merge-split)."""
+    z = ifft(merge_spectra(p_spec, r_spec))
+    return z.real, z.imag
+
+
+# ---------------------------------------------------------------------------
+# Negacyclic variants (what the XPU datapath actually runs)
+# ---------------------------------------------------------------------------
+def negacyclic_fft_pair(p: np.ndarray, r: np.ndarray) -> tuple:
+    """Transform two real negacyclic polynomials with hardware-equivalent cost.
+
+    The functional result is identical to two independent
+    :func:`~repro.transforms.negacyclic.negacyclic_fft` calls; the pairing
+    is what the *hardware model* charges as a single FFT pass.  We keep the
+    functional path simple (two folded transforms) because the padding
+    trick the RTL uses does not change the math, only the cycle count.
+    """
+    return negacyclic_fft(p), negacyclic_fft(r)
+
+
+def negacyclic_ifft_pair(p_spec: np.ndarray, r_spec: np.ndarray, n: int) -> tuple:
+    """Inverse-transform two spectra (single hardware IFFT pass)."""
+    return negacyclic_ifft(p_spec, n), negacyclic_ifft(r_spec, n)

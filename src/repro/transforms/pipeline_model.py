@@ -1,0 +1,103 @@
+"""Hardware model of Morphling's merge-split fully-pipelined FFT unit.
+
+Morphling uses an 8-lane multi-delay-commutator pipelined FFT (Section
+V-A3): all ``log2`` stages are instantiated, 8 complex elements enter per
+cycle, and shuffling buffers re-order data between stages on the fly.  A
+negacyclic ``N``-coefficient polynomial folds into an ``N/2``-point
+transform, so one polynomial *pass* streams ``N/2`` complex points through
+the 8 lanes in ``N/16`` cycles.  Merge-split packs two real polynomials
+into one pass.
+
+This module computes the steady-state throughput and fill latency used by
+the cycle simulator, plus an area/power proxy proportional to the butterfly
+stage count (used by the area model's scaling knobs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["PipelinedFFTModel"]
+
+
+@dataclass(frozen=True)
+class PipelinedFFTModel:
+    """Timing model of one pipelined (I)FFT unit.
+
+    Parameters
+    ----------
+    poly_size:
+        ``N``, the polynomial size handled by this unit.
+    lanes:
+        Complex elements consumed per cycle (8 in Morphling).
+    merge_split:
+        When True, two real polynomials share one pass (Section V-A3).
+    stage_latency:
+        Pipeline registers per butterfly stage (fill latency contribution).
+    """
+
+    poly_size: int
+    lanes: int = 8
+    merge_split: bool = True
+    stage_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.poly_size < 4 or self.poly_size & (self.poly_size - 1):
+            raise ValueError(f"poly_size must be a power of two >= 4, got {self.poly_size}")
+        if self.lanes < 1 or self.lanes & (self.lanes - 1):
+            raise ValueError(f"lanes must be a power of two >= 1, got {self.lanes}")
+
+    @property
+    def points(self) -> int:
+        """FFT length: N/2 complex points via the negacyclic fold."""
+        return self.poly_size // 2
+
+    @property
+    def stages(self) -> int:
+        """Butterfly stages instantiated in the pipeline."""
+        return int(math.log2(self.points))
+
+    @property
+    def polys_per_pass(self) -> int:
+        """Real polynomials transformed per streaming pass."""
+        return 2 if self.merge_split else 1
+
+    @property
+    def cycles_per_pass(self) -> int:
+        """Cycles to stream one pass through the unit (throughput term)."""
+        return max(1, self.points // self.lanes)
+
+    @property
+    def cycles_per_polynomial(self) -> float:
+        """Amortized cycles per real polynomial transform."""
+        return self.cycles_per_pass / self.polys_per_pass
+
+    @property
+    def fill_latency(self) -> int:
+        """Cycles from first input to first output (pipeline fill).
+
+        Each butterfly stage adds its register latency plus the
+        commutator's shuffle-buffer depth, which for a multi-delay
+        commutator at stage ``s`` is ``points / 2**(s+1) / lanes`` cycles
+        (bounded below by one).
+        """
+        shuffle = sum(
+            max(1, (self.points >> (s + 1)) // self.lanes)
+            for s in range(self.stages)
+        )
+        return self.stages * self.stage_latency + shuffle
+
+    def passes_for(self, num_polynomials: int) -> int:
+        """Streaming passes needed for ``num_polynomials`` real polynomials."""
+        if num_polynomials < 0:
+            raise ValueError("num_polynomials must be non-negative")
+        return -(-num_polynomials // self.polys_per_pass)
+
+    def cycles_for(self, num_polynomials: int) -> int:
+        """Total streaming cycles to transform ``num_polynomials``."""
+        return self.passes_for(num_polynomials) * self.cycles_per_pass
+
+    def throughput_polys_per_cycle(self) -> float:
+        """Steady-state real-polynomial transforms per cycle."""
+        return self.polys_per_pass / self.cycles_per_pass

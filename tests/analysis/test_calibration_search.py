@@ -1,0 +1,71 @@
+"""Tests for empirical noise calibration and the parameter optimizer."""
+
+import pytest
+
+from repro import TEST_PARAMS, get_params
+from repro.analysis.calibration import (
+    calibrate_bootstrap_noise,
+    calibrate_fresh_noise,
+)
+from repro.analysis.param_search import (
+    cheapest_for_modulus,
+    search_decomposition,
+)
+
+
+class TestNoiseCalibration:
+    def test_fresh_noise_matches_model(self, ctx):
+        m = calibrate_fresh_noise(ctx, samples=48)
+        assert m.consistent(slack=2.0)
+        assert m.samples == 48
+
+    def test_bootstrap_noise_within_model_bound(self, ctx):
+        """The analytic bound must hold empirically (it may be loose)."""
+        m = calibrate_bootstrap_noise(ctx, samples=8)
+        assert m.consistent(slack=4.0)
+        assert m.worst_abs_error < 1 / 16  # still decodes p=8
+
+    def test_bootstrap_noisier_than_fresh(self, ctx):
+        fresh = calibrate_fresh_noise(ctx, samples=24)
+        boot = calibrate_bootstrap_noise(ctx, samples=6)
+        assert boot.empirical_std > fresh.empirical_std
+
+    def test_sample_validation(self, ctx):
+        with pytest.raises(ValueError):
+            calibrate_fresh_noise(ctx, samples=1)
+        with pytest.raises(ValueError):
+            calibrate_bootstrap_noise(ctx, samples=0)
+
+
+class TestParameterSearch:
+    def test_recovers_the_papers_set_i_levels(self):
+        """The optimizer picks l_b=2 for set I's skeleton at p=8 - the
+        paper's own Table III choice."""
+        best = cheapest_for_modulus(get_params("I"), p=8)
+        assert best.params.l_b == 2
+        assert best.margin >= 1.0
+
+    def test_feasible_choices_sorted_by_cost(self):
+        feasible = search_decomposition(get_params("I"), p=8)
+        costs = [c.cost for c in feasible]
+        assert costs == sorted(costs)
+        assert all(c.margin >= 1.0 for c in feasible)
+
+    def test_bigger_modulus_needs_more_levels(self):
+        cheap_small = cheapest_for_modulus(get_params("I"), p=4)
+        cheap_big = cheapest_for_modulus(get_params("I"), p=32)
+        assert cheap_big.params.l_b >= cheap_small.params.l_b
+
+    def test_impossible_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            cheapest_for_modulus(TEST_PARAMS.with_overrides(n=4096), p=1 << 14)
+
+    def test_invalid_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            search_decomposition(get_params("I"), p=3)
+
+    def test_test_params_are_feasible(self):
+        """Our fast test set itself must be in the feasible region."""
+        feasible = search_decomposition(TEST_PARAMS, p=8)
+        combos = {(c.params.l_b,) for c in feasible}
+        assert (TEST_PARAMS.l_b,) in combos

@@ -1,0 +1,88 @@
+"""Tests for the encrypted database application."""
+
+import pytest
+
+from repro.apps.database import EncryptedTable, database_query_workload
+
+
+@pytest.fixture(scope="module")
+def table(ctx):
+    t = EncryptedTable(ctx)
+    for key, value in [(5, 10), (12, 3), (20, 7), (5, 2)]:
+        t.insert(key, value)
+    return t
+
+
+class TestPredicates:
+    def test_count_eq(self, table):
+        assert table.decrypt_count(table.count_where("eq", 5)) == 2
+
+    def test_count_lt(self, table):
+        assert table.decrypt_count(table.count_where("lt", 12)) == 2
+
+    def test_count_ge(self, table):
+        assert table.decrypt_count(table.count_where("ge", 12)) == 2
+
+    def test_count_no_matches(self, table):
+        assert table.decrypt_count(table.count_where("eq", 42)) == 0
+
+    def test_unknown_predicate_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.count_where("like", 5)
+
+
+class TestAggregation:
+    def test_sum_eq(self, table):
+        assert table.decrypt_sum(table.sum_where("eq", 5)) == 12
+
+    def test_sum_ge(self, table):
+        assert table.decrypt_sum(table.sum_where("ge", 12)) == 10
+
+    def test_sum_lt(self, table):
+        assert table.decrypt_sum(table.sum_where("lt", 6)) == 12
+
+    def test_sum_no_matches(self, table):
+        assert table.decrypt_sum(table.sum_where("eq", 63)) == 0
+
+
+class TestEmptyTable:
+    def test_queries_rejected(self, ctx):
+        empty = EncryptedTable(ctx)
+        with pytest.raises(ValueError):
+            empty.count_where("eq", 1)
+        with pytest.raises(ValueError):
+            empty.sum_where("eq", 1)
+
+    def test_len(self, table):
+        assert len(table) == 4
+
+
+class TestWorkload:
+    def test_layer_structure(self):
+        wl = database_query_workload(100, num_digits=8)
+        names = [l.name for l in wl.layers]
+        assert names[0] == "predicates"
+        assert names[1] == "mask-values"
+        assert names[2].startswith("reduce-")
+
+    def test_reduction_tree_depth(self):
+        wl = database_query_workload(64, num_digits=4)
+        reduce_layers = [l for l in wl.layers if l.name.startswith("reduce")]
+        assert len(reduce_layers) == 6  # log2(64)
+
+    def test_count_only_skips_aggregation(self):
+        filter_only = database_query_workload(100, aggregate=False)
+        assert len(filter_only.layers) == 1
+
+    def test_rejects_empty_query(self):
+        with pytest.raises(ValueError):
+            database_query_workload(0)
+
+    def test_costs_on_simulator(self):
+        from repro.core import MorphlingConfig, run_workload
+        from repro.params import get_params
+
+        wl = database_query_workload(1000)
+        result = run_workload(MorphlingConfig(), get_params("I"), list(wl.layers))
+        # 54k bootstraps at ~147k BS/s -> sub-second encrypted analytics.
+        assert result.total_seconds < 1.0

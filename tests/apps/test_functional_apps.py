@@ -1,0 +1,71 @@
+"""End-to-end functional tests: encrypted trees and NN layers on the real scheme."""
+
+import pytest
+
+from repro.apps import EncryptedTreeEnsemble, TreeNode, encrypted_dense_relu, encrypted_dot
+from repro.tfhe.lwe import lwe_decrypt_phase
+from repro.tfhe.torus import decode_message
+
+import numpy as np
+
+
+class TestEncryptedDot:
+    def test_matches_plain_dot(self, ctx):
+        p = ctx.default_p
+        values = [1, 0, 1]
+        weights = [1, 1, -1]
+        cts = [ctx.encrypt(v, p) for v in values]
+        acc = encrypted_dot(cts, weights, ctx.params.n)
+        phase = lwe_decrypt_phase(acc, ctx.keyset.lwe_key)
+        got = int(decode_message(np.asarray(phase), p)[()])
+        assert got == (sum(v * w for v, w in zip(values, weights)) % p)
+
+    def test_rejects_mismatched_lengths(self, ctx):
+        with pytest.raises(ValueError):
+            encrypted_dot([ctx.encrypt(0)], [1, 2], ctx.params.n)
+
+
+class TestEncryptedDenseRelu:
+    @pytest.mark.parametrize(
+        "inputs,weights,expected",
+        [
+            ([1, -1], [[1, 1]], [0]),        # 1 - 1 = 0 -> relu 0
+            ([1, 0], [[1, 1]], [1]),         # 1 -> relu 1
+            ([-1, -1], [[1, 1]], [0]),       # -2 -> relu 0 (clamped input range)
+            ([1, 1], [[1, -1], [0, 1]], [0, 1]),
+        ],
+    )
+    def test_small_dense_layers(self, ctx, inputs, weights, expected):
+        cts = [ctx.encrypt_signed(v) for v in inputs]
+        outs = encrypted_dense_relu(ctx, cts, weights)
+        got = [ctx.decrypt_signed(o) for o in outs]
+        assert got == expected
+
+    def test_two_layer_network(self, ctx):
+        """Compose two encrypted layers: the NN lowering used by DeepCNN."""
+        x = [ctx.encrypt_signed(1), ctx.encrypt_signed(-1)]
+        hidden = encrypted_dense_relu(ctx, x, [[1, 0], [0, -1]])  # relu(1), relu(1)
+        out = encrypted_dense_relu(ctx, hidden, [[1, -1]])  # relu(0)
+        assert ctx.decrypt_signed(out[0]) == 0
+
+
+class TestEncryptedTreeEnsemble:
+    def test_plain_stump(self):
+        node = TreeNode(feature=0, threshold=0, left_value=0, right_value=1)
+        assert node.evaluate_plain([1]) == 1
+        assert node.evaluate_plain([-1]) == 0
+
+    @pytest.mark.parametrize("features", [[1, -1], [-1, 1], [1, 1], [-1, -1]])
+    def test_ensemble_matches_plain(self, ctx, features):
+        stumps = [
+            TreeNode(feature=0, threshold=0, left_value=0, right_value=1),
+            TreeNode(feature=1, threshold=1, left_value=1, right_value=0),
+        ]
+        ensemble = EncryptedTreeEnsemble(ctx, stumps)
+        enc_features = [ctx.encrypt_signed(f) for f in features]
+        score_ct = ensemble.predict_encrypted(enc_features)
+        assert ensemble.decode_score(score_ct) == ensemble.predict_plain(features)
+
+    def test_rejects_empty_ensemble(self, ctx):
+        with pytest.raises(ValueError):
+            EncryptedTreeEnsemble(ctx, [])

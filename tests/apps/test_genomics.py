@@ -1,0 +1,71 @@
+"""Tests for the secure genome-matching application."""
+
+import itertools
+
+import pytest
+
+from repro.apps.genomics import GenotypeMatcher, genome_match_workload
+
+
+class TestFunctionalMatcher:
+    @pytest.fixture(scope="class")
+    def matcher(self, ctx):
+        return GenotypeMatcher(ctx, num_sites=3)
+
+    @pytest.mark.parametrize("a,b", [
+        ([0, 0, 0], [0, 0, 0]),
+        ([1, 0, 1], [1, 1, 0]),
+        ([1, 1, 1], [0, 0, 0]),
+    ])
+    def test_hamming_distance(self, ctx, matcher, a, b):
+        expected = sum(x != y for x, y in zip(a, b))
+        d = matcher.hamming_distance(
+            matcher.encrypt_genotype(a), matcher.encrypt_genotype(b)
+        )
+        assert matcher.decrypt_distance(d) == expected
+
+    def test_threshold_verdicts(self, ctx, matcher):
+        a = matcher.encrypt_genotype([1, 0, 1])
+        b = matcher.encrypt_genotype([1, 1, 0])  # distance 2
+        assert ctx.decrypt(matcher.matches_within(a, b, threshold=2), 8) == 1
+        a = matcher.encrypt_genotype([1, 0, 1])
+        b = matcher.encrypt_genotype([1, 1, 0])
+        assert ctx.decrypt(matcher.matches_within(a, b, threshold=1), 8) == 0
+
+    def test_length_validation(self, ctx, matcher):
+        with pytest.raises(ValueError):
+            matcher.encrypt_genotype([1, 0])
+        good = matcher.encrypt_genotype([1, 0, 1])
+        with pytest.raises(ValueError):
+            matcher.hamming_distance(good, good[:2])
+
+    def test_site_limit(self, ctx):
+        with pytest.raises(ValueError):
+            GenotypeMatcher(ctx, num_sites=4)
+        with pytest.raises(ValueError):
+            GenotypeMatcher(ctx, num_sites=0)
+
+
+class TestWorkload:
+    def test_structure(self):
+        wl = genome_match_workload(1024, panel_size=8)
+        assert wl.layers[0].name == "site-xor"
+        assert wl.layers[0].bootstraps == 1024 * 8
+        assert wl.layers[-1].name == "thresholds"
+
+    def test_popcount_depth_logarithmic(self):
+        wl = genome_match_workload(1024, panel_size=1)
+        popcounts = [l for l in wl.layers if l.name.startswith("popcount")]
+        assert len(popcounts) == 10  # log2(1024)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            genome_match_workload(0)
+
+    def test_costs_on_simulator(self):
+        from repro.core import MorphlingConfig, run_workload
+        from repro.params import get_params
+
+        wl = genome_match_workload(1000, panel_size=4)
+        result = run_workload(MorphlingConfig(), get_params("I"), list(wl.layers))
+        assert 0 < result.total_seconds < 2.0

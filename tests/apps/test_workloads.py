@@ -1,0 +1,132 @@
+"""Tests for application workload descriptors (Table VI)."""
+
+import pytest
+
+from repro.apps import (
+    ConvSpec,
+    FcSpec,
+    PBS_PER_ACTIVATION,
+    Workload,
+    conv_layer_demand,
+    deepcnn_specs,
+    deepcnn_workload,
+    fc_layer_demand,
+    vgg9_specs,
+    vgg9_workload,
+    xgboost_workload,
+)
+from repro.core.scheduler import LayerDemand
+
+
+class TestSpecs:
+    def test_conv_output_size(self):
+        spec = ConvSpec("c", in_hw=8, in_ch=1, out_ch=2, kernel=3)
+        assert spec.out_hw == 6
+        assert spec.activations == 72
+
+    def test_strided_conv(self):
+        spec = ConvSpec("c", in_hw=6, in_ch=2, out_ch=92, kernel=3, stride=2)
+        assert spec.out_hw == 2
+        assert spec.activations == 368  # the paper's "368 ReLU operations"
+
+    def test_conv_macs(self):
+        spec = ConvSpec("c", in_hw=4, in_ch=2, out_ch=3, kernel=2)
+        assert spec.macs == spec.activations * 2 * 2 * 2
+
+    def test_fc(self):
+        spec = FcSpec("f", in_features=16, out_features=10)
+        assert spec.activations == 10
+        assert spec.macs == 160
+
+    def test_demand_conversion(self):
+        spec = ConvSpec("c", in_hw=4, in_ch=1, out_ch=1, kernel=2)
+        demand = conv_layer_demand(spec)
+        assert demand.bootstraps == spec.activations * PBS_PER_ACTIVATION
+        inert = ConvSpec("c", in_hw=4, in_ch=1, out_ch=1, kernel=2, activated=False)
+        assert conv_layer_demand(inert).bootstraps == 0
+
+    def test_fc_demand(self):
+        demand = fc_layer_demand(FcSpec("f", 8, 4, activated=False))
+        assert demand.bootstraps == 0
+        assert demand.linear_macs == 32
+
+
+class TestWorkloadContainer:
+    def test_totals(self):
+        wl = Workload("w", (LayerDemand("a", 10, 100), LayerDemand("b", 5)))
+        assert wl.total_bootstraps == 15
+        assert wl.total_linear_macs == 100
+        assert wl.depth == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Workload("w", ())
+
+    def test_rejects_non_layers(self):
+        with pytest.raises(TypeError):
+            Workload("w", ("not-a-layer",))
+
+    def test_summary_mentions_name(self):
+        wl = xgboost_workload()
+        assert "XG-Boost" in wl.summary()
+
+
+class TestDeepCnn:
+    def test_layer_count(self):
+        # 2 head convs + X trunk + final conv + FC
+        assert len(deepcnn_specs(20)) == 24
+
+    def test_trunk_relu_count(self):
+        """Each 1x1 trunk layer produces the paper's 368 activations."""
+        trunk = deepcnn_specs(20)[2]
+        assert trunk.activations == 368
+
+    def test_workload_scales_linearly_in_depth(self):
+        w20 = deepcnn_workload(20).total_bootstraps
+        w50 = deepcnn_workload(50).total_bootstraps
+        w100 = deepcnn_workload(100).total_bootstraps
+        per_layer = (w50 - w20) / 30
+        assert per_layer == pytest.approx(368 * PBS_PER_ACTIVATION)
+        assert (w100 - w50) / 50 == pytest.approx(per_layer)
+
+    def test_final_fc_has_no_activation(self):
+        assert deepcnn_workload(20).layers[-1].bootstraps == 0
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            deepcnn_specs(0)
+
+
+class TestVgg9:
+    def test_nine_weight_layers(self):
+        assert len(vgg9_specs()) == 9
+
+    def test_filter_progression(self):
+        convs = [s for s in vgg9_specs() if isinstance(s, ConvSpec)]
+        assert [c.out_ch for c in convs] == [64, 64, 128, 128, 256, 256]
+
+    def test_workload_smaller_than_raw_activations(self):
+        """The documented activation-reduction substitution."""
+        raw = sum(s.activations for s in vgg9_specs() if s.activated)
+        wl = vgg9_workload()
+        assert wl.total_bootstraps < raw * PBS_PER_ACTIVATION / 4
+
+    def test_macs_dominated_by_convs(self):
+        wl = vgg9_workload()
+        conv_macs = sum(l.linear_macs for l in wl.layers[:6])
+        assert conv_macs > 0.8 * wl.total_linear_macs
+
+
+class TestXgboost:
+    def test_default_sizes(self):
+        wl = xgboost_workload()
+        assert wl.depth == 3
+        assert wl.layers[0].bootstraps == 100 * 24
+
+    def test_comparisons_scale_with_trees(self):
+        big = xgboost_workload(n_estimators=200)
+        assert big.layers[0].bootstraps == 200 * 24
+
+    def test_rejects_empty_ensemble(self):
+        with pytest.raises(ValueError):
+            xgboost_workload(n_estimators=0)

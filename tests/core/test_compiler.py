@@ -1,0 +1,84 @@
+"""Tests for the end-to-end compilation facade."""
+
+import pytest
+
+from repro.apps import Workload, xgboost_workload
+from repro.core.accelerator import MorphlingConfig
+from repro.core.compiler import compile_and_run, compile_program
+from repro.core.scheduler import LayerDemand
+from repro.core.simulator import simulate_bootstrap
+from repro.params import get_params
+from repro.tfhe.boolean import Circuit, ripple_carry_adder
+
+
+def adder_circuit(width=4):
+    c = Circuit()
+    a = [c.add_input(f"a{i}") for i in range(width)]
+    b = [c.add_input(f"b{i}") for i in range(width)]
+    ripple_carry_adder(c, a, b)
+    return c
+
+
+class TestCompileProgram:
+    def test_workload_lowered(self):
+        name, stream, binary = compile_program(
+            xgboost_workload(), MorphlingConfig(), get_params("III")
+        )
+        assert name == "XG-Boost"
+        assert len(stream) > 0
+        assert len(binary) > 0
+
+    def test_circuit_lowered(self):
+        name, stream, _ = compile_program(
+            adder_circuit(), MorphlingConfig(), get_params("I")
+        )
+        assert name == "circuit"
+        from repro.core.isa import XpuOp
+
+        total = sum(i.count for i in stream if i.op is XpuOp.BLIND_ROTATE)
+        assert total == adder_circuit().gate_count()
+
+    def test_layer_list_lowered(self):
+        name, stream, _ = compile_program(
+            [LayerDemand("x", 10)], MorphlingConfig(), get_params("I")
+        )
+        assert name == "layers"
+
+    def test_binary_decodes_back(self):
+        from repro.core.isa_encoding import decode_stream
+
+        _, stream, binary = compile_program(
+            xgboost_workload(), MorphlingConfig(), get_params("III")
+        )
+        assert decode_stream(binary) == list(stream)
+
+    def test_bad_program_rejected(self):
+        with pytest.raises(TypeError):
+            compile_program("not a program", MorphlingConfig(), get_params("I"))
+        with pytest.raises(TypeError):
+            compile_program([], MorphlingConfig(), get_params("I"))
+
+
+class TestCompileAndRun:
+    def test_report_fields(self):
+        report = compile_and_run(xgboost_workload(), params=get_params("III"))
+        assert report.total_bootstraps == xgboost_workload().total_bootstraps
+        assert report.total_seconds > 0
+        assert 0 < report.xpu_utilization <= 1
+        assert "XG-Boost" in report.summary()
+
+    def test_rate_bounded_by_simulator(self):
+        params = get_params("I")
+        big = Workload("big", tuple([LayerDemand("l", 64 * 20)]))
+        report = compile_and_run(big, params=params)
+        analytic = simulate_bootstrap(MorphlingConfig(), params).throughput_bs
+        assert report.bootstraps_per_second <= analytic * 1.05
+
+    def test_defaults_applied(self):
+        report = compile_and_run([LayerDemand("x", 16)])
+        assert report.total_seconds > 0
+
+    def test_binary_smaller_than_data(self):
+        report = compile_and_run(xgboost_workload(), params=get_params("III"))
+        # instruction bytes are negligible next to the BSK alone
+        assert report.binary_bytes < get_params("III").bsk_bytes / 100

@@ -1,0 +1,66 @@
+"""Tests for the detailed HBM channel model."""
+
+import pytest
+
+from repro.core.hbm_channel import (
+    BSK_PATTERN,
+    KSK_PATTERN,
+    AccessPattern,
+    HbmChannelSpec,
+    effective_bandwidth_gbs,
+    stack_bandwidth_gbs,
+)
+
+
+class TestSpec:
+    def test_peak_channel_bandwidth(self):
+        # 128 bits x 3.6 Gbps = 57.6 GB/s; 8 channels = 460.8 GB/s peak.
+        assert HbmChannelSpec().peak_gbs == pytest.approx(57.6)
+
+    def test_burst_time(self):
+        spec = HbmChannelSpec()
+        assert spec.burst_time_ns == pytest.approx(32 / 57.6)
+
+
+class TestEffectiveBandwidth:
+    def test_below_peak(self):
+        spec = HbmChannelSpec()
+        for pattern in (BSK_PATTERN, KSK_PATTERN):
+            assert effective_bandwidth_gbs(spec, pattern) < spec.peak_gbs
+
+    def test_streaming_beats_strided(self):
+        spec = HbmChannelSpec()
+        assert effective_bandwidth_gbs(spec, BSK_PATTERN) > effective_bandwidth_gbs(
+            spec, KSK_PATTERN
+        )
+
+    def test_perfect_hits_approach_peak(self):
+        spec = HbmChannelSpec(refresh_overhead=0.0)
+        ideal = AccessPattern("ideal", page_hit_rate=1.0, avg_request_bytes=32 * 64)
+        assert effective_bandwidth_gbs(spec, ideal) == pytest.approx(spec.peak_gbs)
+
+    def test_tiny_requests_waste_bursts(self):
+        spec = HbmChannelSpec()
+        tiny = AccessPattern("tiny", page_hit_rate=1.0, avg_request_bytes=8)
+        full = AccessPattern("full", page_hit_rate=1.0, avg_request_bytes=32)
+        assert effective_bandwidth_gbs(spec, tiny) < effective_bandwidth_gbs(spec, full) / 2
+
+    def test_pattern_validation(self):
+        with pytest.raises(ValueError):
+            AccessPattern("bad", page_hit_rate=1.5, avg_request_bytes=64)
+        with pytest.raises(ValueError):
+            AccessPattern("bad", page_hit_rate=0.5, avg_request_bytes=0)
+
+
+class TestStackBandwidth:
+    def test_derives_the_papers_310(self):
+        """The paper's 'moderate average 310 GB/s' falls out of the model."""
+        assert stack_bandwidth_gbs() == pytest.approx(310.0, rel=0.05)
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            stack_bandwidth_gbs(bsk_channels=9)
+
+    def test_more_bsk_channels_raise_average(self):
+        # BSK streaming is the more efficient pattern.
+        assert stack_bandwidth_gbs(bsk_channels=4) > stack_bandwidth_gbs(bsk_channels=2)

@@ -1,0 +1,89 @@
+"""Tests for the sweep utility and schedule rendering."""
+
+import pytest
+
+from repro.core.accelerator import MorphlingConfig
+from repro.core.scheduler import HwScheduler, LayerDemand, SwScheduler, render_schedule
+from repro.core.sweep import pareto_frontier, sweep
+from repro.params import get_params
+
+
+class TestSweep:
+    def test_single_axis(self):
+        points = sweep({"num_xpus": [1, 2, 4]}, get_params("I"))
+        assert len(points) == 3
+        thr = [p.throughput_bs for p in points]
+        assert thr == sorted(thr)
+
+    def test_cartesian_product(self):
+        points = sweep(
+            {"num_xpus": [2, 4], "merge_split": [True, False]}, get_params("I")
+        )
+        assert len(points) == 4
+
+    def test_invalid_combinations_skipped(self):
+        points = sweep({"num_xpus": [4, 0]}, get_params("I"))
+        assert len(points) == 1  # num_xpus=0 fails validation
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            sweep({}, get_params("I"))
+
+    def test_labels_readable(self):
+        points = sweep({"num_xpus": [2]}, get_params("I"))
+        assert points[0].label == "num_xpus=2"
+
+    def test_area_tracks_config(self):
+        points = sweep({"num_xpus": [2, 8]}, get_params("I"))
+        assert points[1].area_mm2 > points[0].area_mm2
+
+
+class TestParetoFrontier:
+    def test_dominated_points_removed(self):
+        points = sweep({"num_xpus": [1, 2, 4, 5, 6]}, get_params("III"))
+        frontier = pareto_frontier(points)
+        # 5 XPUs is dominated: more area than 4 with less throughput.
+        labels = {p.label for p in frontier}
+        assert "num_xpus=5" not in labels
+        assert "num_xpus=4" in labels
+
+    def test_frontier_sorted_by_area(self):
+        frontier = pareto_frontier(sweep({"num_xpus": [1, 2, 4]}, get_params("I")))
+        areas = [p.area_mm2 for p in frontier]
+        assert areas == sorted(areas)
+
+    def test_frontier_is_subset(self):
+        points = sweep({"num_xpus": [1, 4]}, get_params("I"))
+        assert set(pareto_frontier(points)) <= set(points)
+
+
+class TestScheduleRendering:
+    def test_render_requires_spans(self):
+        cfg, p = MorphlingConfig(), get_params("I")
+        stream = SwScheduler(cfg, p).schedule([LayerDemand("a", 64)])
+        plain = HwScheduler(cfg, p).execute(stream)
+        with pytest.raises(ValueError):
+            render_schedule(plain)
+
+    def test_render_shows_all_engines(self):
+        cfg, p = MorphlingConfig(), get_params("I")
+        stream = SwScheduler(cfg, p).schedule([LayerDemand("a", 128)])
+        result = HwScheduler(cfg, p).execute(stream, record_spans=True)
+        art = render_schedule(result)
+        assert "xpu" in art
+        assert "dma_xpu" in art
+        assert "ms" in art  # the time ruler
+
+    def test_spans_respect_dependencies(self):
+        cfg, p = MorphlingConfig(), get_params("I")
+        stream = SwScheduler(cfg, p).schedule([LayerDemand("a", 64)])
+        result = HwScheduler(cfg, p).execute(stream, record_spans=True)
+        by_op = {}
+        for engine, op, group, start, end in result.spans:
+            by_op.setdefault(op, []).append((start, end))
+        # The blind rotation cannot start before the BSK load finishes.
+        br_start = by_op["blind_rotate"][0][0]
+        bsk_end = by_op["load_bsk"][0][1]
+        assert br_start >= bsk_end - 1e-12
+        # Key switching follows sample extraction.
+        assert by_op["key_switch"][0][0] >= by_op["sample_extract"][0][1] - 1e-12

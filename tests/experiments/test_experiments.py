@@ -1,0 +1,109 @@
+"""Tests for the experiment drivers and the result container."""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    morphling_throughputs,
+    run_all,
+    run_fig1,
+    run_fig3,
+    run_fig7a,
+    run_fig7b,
+    run_fig8a,
+    run_fig8b,
+    run_table1,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+
+
+class TestResultContainer:
+    @pytest.fixture()
+    def result(self):
+        return ExperimentResult(
+            "x", "demo", ["a", "b"], [[1, 2.5], [3, 40000.0]], notes=["n"]
+        )
+
+    def test_column_extraction(self, result):
+        assert result.column("a") == [1, 3]
+
+    def test_unknown_column(self, result):
+        with pytest.raises(KeyError):
+            result.column("zzz")
+
+    def test_to_text_contains_everything(self, result):
+        text = result.to_text()
+        assert "demo" in text
+        assert "note: n" in text
+        assert "40,000" in text
+
+
+class TestDrivers:
+    """Each driver must return a well-formed, paper-shaped table."""
+
+    def test_registry_is_complete(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "table2", "fig1", "fig2", "fig3", "table3", "table4", "table5", "fig6",
+            "fig7a", "fig7b", "fig8a", "fig8b", "table6",
+            "ablation-dataflow", "ablation-rotator",
+            "ablation-reuse-factors", "security-table", "efficiency-table",
+        }
+
+    @pytest.mark.parametrize("exp_id", sorted(set(ALL_EXPERIMENTS) - {"table6"}))
+    def test_driver_runs(self, exp_id):
+        result = ALL_EXPERIMENTS[exp_id]()
+        assert result.experiment_id == exp_id
+        assert result.rows
+        assert all(len(row) == len(result.headers) for row in result.rows)
+
+    def test_table5_has_morphling_and_references(self):
+        result = run_table5()
+        systems = set(result.column("system"))
+        assert "Morphling (ours)" in systems
+        assert {"Concrete", "MATCHA", "Strix"} <= systems
+
+    def test_fig3_headline_row(self):
+        result = run_fig3()
+        by_name = dict(zip(result.column("parameters"), result.column("no-reuse")))
+        assert by_name["(k,lb)=(3,3) [set C]"] == 46752
+
+    def test_fig8a_knee(self):
+        result = run_fig8a()
+        thr = dict(zip(result.column("A1 (KB)"), result.column("throughput (BS/s)")))
+        assert thr[2048] < thr[4096] == thr[8192]
+
+    def test_fig8b_degradation(self):
+        result = run_fig8b()
+        thr = dict(zip(result.column("XPUs"), result.column("throughput (BS/s)")))
+        assert thr[5] < thr[4]
+
+    def test_morphling_throughputs_keys(self):
+        thr = morphling_throughputs()
+        assert set(thr) == {"I", "II", "III", "IV"}
+        assert all(v > 10_000 for v in thr.values())
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table6()
+
+    def test_all_applications_present(self, result):
+        apps = result.column("application")
+        assert apps == ["XG-Boost", "DeepCNN-20", "DeepCNN-50", "DeepCNN-100", "VGG-9"]
+
+    def test_speedups_in_paper_band(self, result):
+        cpu = result.column("CPU (s)")
+        morph = result.column("Morphling (s)")
+        for c, m in zip(cpu, morph):
+            assert 80 < c / m < 160
+
+
+class TestRunner:
+    def test_run_all_produces_every_result(self):
+        results = run_all()
+        assert [r.experiment_id for r in results] == list(ALL_EXPERIMENTS)

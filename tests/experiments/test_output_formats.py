@@ -1,0 +1,46 @@
+"""Tests for the experiment result output formats."""
+
+import pytest
+
+from repro.experiments import ExperimentResult, run_table3
+
+
+@pytest.fixture()
+def result():
+    return ExperimentResult(
+        "x", "demo", ["name", "value"], [["a", 1.5], ["b", 25000]],
+        notes=["a note"],
+    )
+
+
+class TestMarkdown:
+    def test_structure(self, result):
+        md = result.to_markdown()
+        lines = md.split("\n")
+        assert lines[0] == "| name | value |"
+        assert lines[1] == "|---|---|"
+        assert "| a | 1.50 |" in lines
+
+    def test_notes_italicized(self, result):
+        assert "*a note*" in result.to_markdown()
+
+    def test_real_driver_renders(self):
+        md = run_table3().to_markdown()
+        assert md.startswith("| set |")
+        assert "| I |" in md
+
+
+class TestCsv:
+    def test_structure(self, result):
+        lines = result.to_csv().split("\n")
+        assert lines[0] == "name,value"
+        assert lines[1] == "a,1.50"
+
+    def test_thousands_separators_stripped(self, result):
+        # 25,000 would corrupt the CSV; separators must be removed.
+        assert "25000" in result.to_csv()
+        assert "25,000" not in result.to_csv()
+
+    def test_row_count(self):
+        csv = run_table3().to_csv()
+        assert len(csv.split("\n")) == 1 + 7  # header + seven sets

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.param_set == "I"
+        assert args.xpus == 4
+
+    def test_unknown_set_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--set", "Z"])
+
+
+class TestCommands:
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--set", "I"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "147," in out  # the Table V set I number
+
+    def test_simulate_reuse_override(self, capsys):
+        assert main(["simulate", "--set", "B", "--reuse", "none",
+                     "--no-merge-split"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "Total" in out
+        assert "74.6" in out
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out
+        assert "fig8b" in out
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "--id", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "46,752" in out or "46752" in out
+
+    def test_experiments_unknown_id(self, capsys):
+        assert main(["experiments", "--id", "fig99"]) == 2
+
+    def test_workload(self, capsys):
+        assert main(["workload", "xgboost"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--message", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "decrypted 1" in out
+
+    def test_demo_bad_message(self, capsys):
+        assert main(["demo", "--message", "7"]) == 2
+
+
+class TestTraceCommand:
+    def test_trace_renders(self, capsys):
+        assert main(["trace", "--set", "II", "--iterations", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "rotation" in out
+        assert "steady state" in out
+
+    def test_trace_reuse_override(self, capsys):
+        assert main(["trace", "--reuse", "none", "--no-merge-split"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck" in out

@@ -1,0 +1,210 @@
+"""Tests for boolean circuits: plain/encrypted agreement + workload lowering."""
+
+import itertools
+
+import pytest
+
+from repro.tfhe.boolean import (
+    Circuit,
+    equality_comparator,
+    less_than_comparator,
+    multiplexer,
+    ripple_carry_adder,
+)
+
+
+def bits_of(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+class TestCircuitConstruction:
+    def test_duplicate_input_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(ValueError):
+            c.add_input("a")
+
+    def test_duplicate_output_rejected(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.mark_output(a, "o")
+        with pytest.raises(ValueError):
+            c.mark_output(a, "o")
+
+    def test_unknown_gate_rejected(self):
+        c = Circuit()
+        a = c.add_input("a")
+        with pytest.raises(ValueError):
+            c.gate("nandify", a, a)
+
+    def test_foreign_wire_rejected(self):
+        c = Circuit()
+        from repro.tfhe.boolean import Wire
+
+        with pytest.raises(ValueError):
+            c.gate("and", Wire(99), Wire(100))
+
+    def test_bad_const_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit().add_const(2)
+
+    def test_gate_count_excludes_not(self):
+        c = Circuit()
+        a, b = c.add_input("a"), c.add_input("b")
+        c.gate("and", a, c.not_gate(b))
+        assert c.gate_count() == 1
+
+
+class TestPlainEvaluation:
+    def test_missing_input_raises(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.mark_output(a, "o")
+        with pytest.raises(KeyError):
+            c.evaluate_plain({})
+
+    def test_const_wires(self):
+        c = Circuit()
+        one = c.add_const(1)
+        a = c.add_input("a")
+        c.mark_output(c.gate("xor", a, one), "o")
+        assert c.evaluate_plain({"a": 1})["o"] == 0
+
+    def test_not_chains(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.mark_output(c.not_gate(c.not_gate(a)), "o")
+        assert c.evaluate_plain({"a": 1})["o"] == 1
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("a,b", [(0, 0), (3, 5), (7, 7), (6, 3)])
+    def test_adder_plain(self, a, b):
+        c = Circuit()
+        aw = [c.add_input(f"a{i}") for i in range(3)]
+        bw = [c.add_input(f"b{i}") for i in range(3)]
+        sums, carry = ripple_carry_adder(c, aw, bw)
+        for i, s in enumerate(sums):
+            c.mark_output(s, f"s{i}")
+        c.mark_output(carry, "c")
+        inputs = {f"a{i}": v for i, v in enumerate(bits_of(a, 3))}
+        inputs.update({f"b{i}": v for i, v in enumerate(bits_of(b, 3))})
+        out = c.evaluate_plain(inputs)
+        got = sum(out[f"s{i}"] << i for i in range(3)) + (out["c"] << 3)
+        assert got == a + b
+
+    @pytest.mark.parametrize("a,b", itertools.product(range(4), repeat=2))
+    def test_equality_plain(self, a, b):
+        c = Circuit()
+        aw = [c.add_input(f"a{i}") for i in range(2)]
+        bw = [c.add_input(f"b{i}") for i in range(2)]
+        c.mark_output(equality_comparator(c, aw, bw), "eq")
+        inputs = {f"a{i}": v for i, v in enumerate(bits_of(a, 2))}
+        inputs.update({f"b{i}": v for i, v in enumerate(bits_of(b, 2))})
+        assert c.evaluate_plain(inputs)["eq"] == int(a == b)
+
+    @pytest.mark.parametrize("a,b", itertools.product(range(4), repeat=2))
+    def test_less_than_plain(self, a, b):
+        c = Circuit()
+        aw = [c.add_input(f"a{i}") for i in range(2)]
+        bw = [c.add_input(f"b{i}") for i in range(2)]
+        c.mark_output(less_than_comparator(c, aw, bw), "lt")
+        inputs = {f"a{i}": v for i, v in enumerate(bits_of(a, 2))}
+        inputs.update({f"b{i}": v for i, v in enumerate(bits_of(b, 2))})
+        assert c.evaluate_plain(inputs)["lt"] == int(a < b)
+
+    @pytest.mark.parametrize("sel,w0,w1", itertools.product([0, 1], repeat=3))
+    def test_multiplexer_plain(self, sel, w0, w1):
+        c = Circuit()
+        s, a, b = (c.add_input(n) for n in ("s", "a", "b"))
+        c.mark_output(multiplexer(c, s, a, b), "o")
+        out = c.evaluate_plain({"s": sel, "a": w0, "b": w1})
+        assert out["o"] == (w1 if sel else w0)
+
+    def test_width_mismatch_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            ripple_carry_adder(c, [c.add_input("a")], [])
+
+
+class TestEncryptedEvaluation:
+    def test_adder_encrypted_matches_plain(self, ctx):
+        c = Circuit()
+        aw = [c.add_input(f"a{i}") for i in range(2)]
+        bw = [c.add_input(f"b{i}") for i in range(2)]
+        sums, carry = ripple_carry_adder(c, aw, bw)
+        for i, s in enumerate(sums):
+            c.mark_output(s, f"s{i}")
+        c.mark_output(carry, "c")
+        inputs = {"a0": 1, "a1": 1, "b0": 1, "b1": 0}  # 3 + 1 = 4
+        plain = c.evaluate_plain(inputs)
+        enc = c.evaluate_encrypted(ctx, {k: ctx.encrypt(v) for k, v in inputs.items()})
+        assert {k: ctx.decrypt(v) for k, v in enc.items()} == plain
+
+    def test_constants_become_trivial_ciphertexts(self, ctx):
+        c = Circuit()
+        a = c.add_input("a")
+        c.mark_output(c.gate("and", a, c.add_const(1)), "o")
+        enc = c.evaluate_encrypted(ctx, {"a": ctx.encrypt(1)})
+        assert ctx.decrypt(enc["o"]) == 1
+
+    def test_missing_encrypted_input(self, ctx):
+        c = Circuit()
+        a = c.add_input("a")
+        c.mark_output(a, "o")
+        with pytest.raises(KeyError):
+            c.evaluate_encrypted(ctx, {})
+
+
+class TestWorkloadLowering:
+    def test_levels_respect_dependencies(self):
+        c = Circuit()
+        a, b = c.add_input("a"), c.add_input("b")
+        g1 = c.gate("and", a, b)
+        g2 = c.gate("or", g1, b)
+        levels = c.levels()
+        assert len(levels) == 2
+        assert levels[0] == [g1.node_id]
+        assert levels[1] == [g2.node_id]
+
+    def test_independent_gates_share_a_level(self):
+        c = Circuit()
+        a, b = c.add_input("a"), c.add_input("b")
+        c.gate("and", a, b)
+        c.gate("or", a, b)
+        assert len(c.levels()) == 1
+        assert len(c.levels()[0]) == 2
+
+    def test_not_does_not_add_depth(self):
+        c = Circuit()
+        a, b = c.add_input("a"), c.add_input("b")
+        c.gate("and", c.not_gate(a), b)
+        assert len(c.levels()) == 1
+
+    def test_workload_bootstraps_match_gate_count(self):
+        c = Circuit()
+        aw = [c.add_input(f"a{i}") for i in range(4)]
+        bw = [c.add_input(f"b{i}") for i in range(4)]
+        ripple_carry_adder(c, aw, bw)
+        wl = c.to_workload("adder4")
+        assert wl.total_bootstraps == c.gate_count()
+        assert wl.depth == len(c.levels())
+
+    def test_gateless_circuit_workload(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.mark_output(c.not_gate(a), "o")
+        wl = c.to_workload("nots")
+        assert wl.total_bootstraps == 0
+
+    def test_workload_runs_on_simulator(self):
+        from repro.core import MorphlingConfig, run_workload
+        from repro.params import get_params
+
+        c = Circuit()
+        aw = [c.add_input(f"a{i}") for i in range(8)]
+        bw = [c.add_input(f"b{i}") for i in range(8)]
+        ripple_carry_adder(c, aw, bw)
+        wl = c.to_workload("adder8")
+        result = run_workload(MorphlingConfig(), get_params("I"), list(wl.layers))
+        assert result.total_seconds > 0

@@ -1,0 +1,76 @@
+"""Tests for the signed gadget decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tfhe.decomposition import (
+    decompose,
+    decomposition_error_bound,
+    recompose,
+)
+
+
+def centered_error(a, b):
+    diff = (a.astype(np.int64) - b.astype(np.int64) + (1 << 31)) % (1 << 32) - (1 << 31)
+    return np.abs(diff)
+
+
+class TestShapes:
+    def test_level_axis_inserted_before_last(self, rng):
+        v = rng.integers(0, 1 << 32, size=(3, 16), dtype=np.uint64).astype(np.uint32)
+        d = decompose(v, beta_bits=8, levels=3)
+        assert d.shape == (3, 3, 16)
+
+    def test_rejects_overwide_decomposition(self):
+        with pytest.raises(ValueError):
+            decompose(np.zeros(4, dtype=np.uint32), beta_bits=8, levels=5)
+        with pytest.raises(ValueError):
+            recompose(np.zeros((5, 4), dtype=np.int64), beta_bits=8)
+
+
+class TestDigitRange:
+    @pytest.mark.parametrize("beta_bits,levels", [(4, 3), (8, 3), (7, 4), (23, 1)])
+    def test_digits_balanced(self, beta_bits, levels, rng):
+        v = rng.integers(0, 1 << 32, size=1024, dtype=np.uint64).astype(np.uint32)
+        d = decompose(v, beta_bits, levels)
+        half = 1 << (beta_bits - 1)
+        assert d.min() >= -half
+        assert d.max() <= half  # top digit may carry to +beta/2
+
+
+class TestRecomposition:
+    @pytest.mark.parametrize("beta_bits,levels", [(4, 3), (8, 3), (8, 4), (16, 2), (23, 1)])
+    def test_error_within_bound(self, beta_bits, levels, rng):
+        v = rng.integers(0, 1 << 32, size=4096, dtype=np.uint64).astype(np.uint32)
+        back = recompose(decompose(v, beta_bits, levels), beta_bits)
+        bound = decomposition_error_bound(beta_bits, levels)
+        assert centered_error(v, back).max() <= bound
+
+    def test_exact_when_full_width(self, rng):
+        v = rng.integers(0, 1 << 32, size=256, dtype=np.uint64).astype(np.uint32)
+        back = recompose(decompose(v, 8, 4), 8)
+        assert centered_error(v, back).max() == 0
+
+    def test_zero_decomposes_to_zero(self):
+        d = decompose(np.zeros(8, dtype=np.uint32), 8, 3)
+        assert not d.any()
+
+    @given(st.integers(0, (1 << 32) - 1),
+           st.sampled_from([(4, 3), (6, 4), (8, 2), (10, 3)]))
+    @settings(max_examples=200, deadline=None)
+    def test_property_error_bound(self, value, config):
+        beta_bits, levels = config
+        v = np.array([value], dtype=np.uint32)
+        back = recompose(decompose(v, beta_bits, levels), beta_bits)
+        assert centered_error(v, back)[0] <= decomposition_error_bound(beta_bits, levels)
+
+
+class TestErrorBound:
+    def test_bound_zero_for_full_width(self):
+        assert decomposition_error_bound(8, 4) == 0
+
+    def test_bound_halves_per_extra_bit(self):
+        assert decomposition_error_bound(8, 3) == 2 * decomposition_error_bound(8, 3) // 2
+        assert decomposition_error_bound(4, 3) == 1 << (32 - 12 - 1)

@@ -1,0 +1,81 @@
+"""Direct tests for test-polynomial construction and message encoding."""
+
+import numpy as np
+import pytest
+
+from repro import TEST_PARAMS
+from repro.tfhe.encoding import (
+    extend_lut_antiperiodic,
+    identity_test_polynomial,
+    make_test_polynomial,
+    message_to_signed,
+    signed_to_message,
+)
+from repro.tfhe.torus import decode_message
+
+P = 8
+
+
+class TestAntiperiodicExtension:
+    def test_second_half_is_negated(self):
+        full = extend_lut_antiperiodic(np.array([0, 1, 2, 3]), P)
+        np.testing.assert_array_equal(full[:4], [0, 1, 2, 3])
+        np.testing.assert_array_equal(full[4:], [0, -1, -2, -3])
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            extend_lut_antiperiodic(np.array([0, 1]), P)
+
+
+class TestTestPolynomial:
+    def test_windows_are_constant(self):
+        """Coefficients inside one message window hold one function value."""
+        tp = identity_test_polynomial(TEST_PARAMS, P)
+        window = 2 * TEST_PARAMS.N // P
+        # The first window (centred on message 0, positive side) is f(0).
+        inner = tp[: window // 4]
+        assert len(set(inner.tolist())) == 1
+
+    def test_window_centers_decode_to_lut_values(self):
+        lut = np.array([3, 1, 0, 2], dtype=np.int64)
+        tp = make_test_polynomial(lut, TEST_PARAMS, P)
+        window = 2 * TEST_PARAMS.N // P
+        for m in range(P // 2):
+            center = m * window // 2  # index m*2N/p maps to TP index m*N*2/p/2
+            idx = (m * 2 * TEST_PARAMS.N // P)
+            if idx < TEST_PARAMS.N:
+                got = int(decode_message(tp[idx : idx + 1], P)[0])
+                assert got == lut[m] % P
+
+    def test_oversized_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            make_test_polynomial(
+                np.zeros(2 * TEST_PARAMS.N, dtype=np.int64),
+                TEST_PARAMS,
+                4 * TEST_PARAMS.N,
+            )
+
+    def test_identity_matches_explicit_lut(self):
+        explicit = make_test_polynomial(
+            np.arange(P // 2, dtype=np.int64), TEST_PARAMS, P
+        )
+        np.testing.assert_array_equal(identity_test_polynomial(TEST_PARAMS, P), explicit)
+
+
+class TestSignedMapping:
+    @pytest.mark.parametrize("v", [-2, -1, 0, 1])
+    def test_roundtrip(self, v):
+        assert message_to_signed(signed_to_message(v, P), P) == v
+
+    def test_offset_is_quarter(self):
+        assert signed_to_message(0, P) == P // 4
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            signed_to_message(2, P)
+        with pytest.raises(ValueError):
+            signed_to_message(-3, P)
+        with pytest.raises(ValueError):
+            message_to_signed(P // 2, P)
+        with pytest.raises(ValueError):
+            message_to_signed(-1, P)

@@ -1,0 +1,120 @@
+"""Tests for radix-encoded multi-ciphertext integers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tfhe.integer import (
+    RadixInteger,
+    add_integers,
+    bootstrap_cost,
+    decrypt_integer,
+    encrypt_integer,
+    equals_integer,
+    less_than_integer,
+    scalar_mul_integer,
+)
+
+DIGITS = 3  # base-4, 3 digits -> values in [0, 64)
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("value", [0, 1, 17, 42, 63])
+    def test_roundtrip(self, ctx, value):
+        x = encrypt_integer(ctx, value, DIGITS)
+        assert decrypt_integer(ctx, x) == value
+
+    def test_binary_digits(self, ctx):
+        x = encrypt_integer(ctx, 5, 4, digit_bits=1)
+        assert x.base == 2
+        assert decrypt_integer(ctx, x) == 5
+
+    def test_out_of_range_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            encrypt_integer(ctx, 64, DIGITS)
+        with pytest.raises(ValueError):
+            encrypt_integer(ctx, -1, DIGITS)
+
+    def test_layout_properties(self, ctx):
+        x = encrypt_integer(ctx, 7, DIGITS)
+        assert x.num_digits == DIGITS
+        assert x.bit_width == 6
+        assert x.max_value == 63
+
+    def test_invalid_layout_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            RadixInteger([], 2)
+        with pytest.raises(ValueError):
+            RadixInteger([ctx.encrypt(0, 16)], 3)
+
+
+class TestAddition:
+    @pytest.mark.parametrize("a,b", [(0, 0), (11, 26), (31, 32), (63, 1), (42, 42)])
+    def test_add_wraps_mod_64(self, ctx, a, b):
+        x = encrypt_integer(ctx, a, DIGITS)
+        y = encrypt_integer(ctx, b, DIGITS)
+        assert decrypt_integer(ctx, add_integers(ctx, x, y)) == (a + b) % 64
+
+    def test_layout_mismatch_rejected(self, ctx):
+        x = encrypt_integer(ctx, 1, 2)
+        y = encrypt_integer(ctx, 1, 3)
+        with pytest.raises(ValueError):
+            add_integers(ctx, x, y)
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=8, deadline=None)
+    def test_property_addition(self, ctx, a, b):
+        x = encrypt_integer(ctx, a, DIGITS)
+        y = encrypt_integer(ctx, b, DIGITS)
+        assert decrypt_integer(ctx, add_integers(ctx, x, y)) == (a + b) % 64
+
+
+class TestScalarMultiplication:
+    @pytest.mark.parametrize("scalar", [0, 1, 2, 3, 5])
+    def test_scalar_mul(self, ctx, scalar):
+        x = encrypt_integer(ctx, 11, DIGITS)
+        got = decrypt_integer(ctx, scalar_mul_integer(ctx, scalar, x))
+        assert got == (scalar * 11) % 64
+
+    def test_negative_scalar_rejected(self, ctx):
+        x = encrypt_integer(ctx, 1, DIGITS)
+        with pytest.raises(ValueError):
+            scalar_mul_integer(ctx, -1, x)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("a,b", [(5, 5), (5, 6), (0, 63), (63, 63), (12, 11)])
+    def test_equality(self, ctx, a, b):
+        x = encrypt_integer(ctx, a, DIGITS)
+        y = encrypt_integer(ctx, b, DIGITS)
+        assert ctx.decrypt(equals_integer(ctx, x, y)) == int(a == b)
+
+    @pytest.mark.parametrize("a,b", [(5, 6), (6, 5), (5, 5), (0, 63), (63, 0), (21, 22)])
+    def test_less_than(self, ctx, a, b):
+        x = encrypt_integer(ctx, a, DIGITS)
+        y = encrypt_integer(ctx, b, DIGITS)
+        assert ctx.decrypt(less_than_integer(ctx, x, y)) == int(a < b)
+
+    def test_comparison_bits_feed_gates(self, ctx):
+        x = encrypt_integer(ctx, 5, DIGITS)
+        y = encrypt_integer(ctx, 6, DIGITS)
+        lt = less_than_integer(ctx, x, y)   # 1
+        eq = equals_integer(ctx, x, y)      # 0
+        assert ctx.decrypt(ctx.gate("xor", lt, eq)) == 1
+
+
+class TestBootstrapCost:
+    def test_add_cost(self):
+        assert bootstrap_cost("add", 8) == 16
+
+    def test_scalar_mul_cost_zero(self):
+        assert bootstrap_cost("scalar_mul", 8, scalar=0) == 0
+
+    def test_scalar_mul_cost_grows_with_scalar(self):
+        assert bootstrap_cost("scalar_mul", 4, scalar=5) > bootstrap_cost(
+            "scalar_mul", 4, scalar=2
+        )
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_cost("divide", 4)

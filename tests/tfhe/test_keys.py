@@ -1,0 +1,74 @@
+"""Direct tests for key material generation (BSK, KSK, KeySet)."""
+
+import numpy as np
+import pytest
+
+from repro import TEST_PARAMS
+from repro.tfhe.keys import generate_keyset, make_ksk
+from repro.tfhe.lwe import lwe_keygen
+
+
+class TestKeySetStructure:
+    def test_bsk_has_one_ggsw_per_key_bit(self, keyset):
+        assert len(keyset.bsk) == TEST_PARAMS.n
+
+    def test_bsk_ggsw_shapes(self, keyset):
+        p = TEST_PARAMS
+        for ggsw in keyset.bsk[:3]:
+            assert ggsw.rows.shape == ((p.k + 1) * p.l_b, p.k + 1, p.N)
+            assert ggsw.beta_bits == p.beta_bits
+
+    def test_ksk_dimensions(self, keyset):
+        p = TEST_PARAMS
+        assert keyset.ksk.in_dimension == p.k * p.N
+        assert keyset.ksk.out_dimension == p.n
+        assert keyset.ksk.l_k == p.l_k
+
+    def test_bsk_spectra_cached(self, keyset):
+        spectra = keyset.bsk_spectra()
+        assert len(spectra) == TEST_PARAMS.n
+        assert spectra[0] is keyset.bsk[0].spectrum()
+
+
+class TestDeterminism:
+    def test_same_seed_same_keys(self):
+        a = generate_keyset(TEST_PARAMS, np.random.default_rng(5))
+        b = generate_keyset(TEST_PARAMS, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.lwe_key.bits, b.lwe_key.bits)
+        np.testing.assert_array_equal(a.bsk[0].rows, b.bsk[0].rows)
+        np.testing.assert_array_equal(a.ksk.bodies, b.ksk.bodies)
+
+    def test_different_seeds_differ(self):
+        a = generate_keyset(TEST_PARAMS, np.random.default_rng(5))
+        b = generate_keyset(TEST_PARAMS, np.random.default_rng(6))
+        assert not np.array_equal(a.lwe_key.bits, b.lwe_key.bits) or not np.array_equal(
+            a.bsk[0].rows, b.bsk[0].rows
+        )
+
+
+class TestMakeKsk:
+    def test_switches_between_independent_keys(self, rng):
+        """A standalone KSK between two fresh LWE keys round-trips."""
+        from repro.tfhe.bootstrap import key_switch
+        from repro.tfhe.lwe import lwe_decrypt_phase, lwe_encrypt
+        from repro.tfhe.torus import decode_message, encode_message
+
+        key_in = lwe_keygen(24, rng)
+        key_out = lwe_keygen(16, rng)
+        ksk = make_ksk(key_in.bits, key_out, beta_ks_bits=6, l_k=3,
+                       rng=rng, noise_log2=-25.0)
+        m = int(encode_message(3, 8)[()])
+        ct = lwe_encrypt(m, key_in, rng, noise_log2=-25.0)
+        switched = key_switch(ct, ksk)
+        phase = lwe_decrypt_phase(switched, key_out)
+        assert int(decode_message(np.asarray(phase), 8)[()]) == 3
+
+    def test_shape_validation(self, rng):
+        from repro.tfhe.keys import KeySwitchingKey
+
+        with pytest.raises(ValueError):
+            KeySwitchingKey(
+                np.zeros((4, 2, 8), dtype=np.uint32),
+                np.zeros((4, 3), dtype=np.uint32),  # mismatched levels
+                4,
+            )

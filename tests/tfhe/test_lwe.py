@@ -1,0 +1,112 @@
+"""Tests for LWE ciphertexts and their linear homomorphisms."""
+
+import numpy as np
+import pytest
+
+from repro.tfhe.lwe import (
+    LweCiphertext,
+    LweSecretKey,
+    lwe_add,
+    lwe_add_plain,
+    lwe_decrypt_phase,
+    lwe_encrypt,
+    lwe_keygen,
+    lwe_neg,
+    lwe_scalar_mul,
+    lwe_sub,
+    lwe_trivial,
+)
+from repro.tfhe.torus import decode_message, encode_message
+
+P = 16
+NOISE = -20.0
+
+
+@pytest.fixture(scope="module")
+def key():
+    return lwe_keygen(32, np.random.default_rng(3))
+
+
+def enc(m, key, rng):
+    return lwe_encrypt(int(encode_message(m, P)[()]), key, rng, noise_log2=NOISE)
+
+
+def dec(ct, key):
+    return int(decode_message(np.asarray(lwe_decrypt_phase(ct, key)), P)[()])
+
+
+class TestKeygen:
+    def test_key_is_binary(self, rng):
+        key = lwe_keygen(64, rng)
+        assert set(np.unique(key.bits)) <= {0, 1}
+
+    def test_key_validation(self):
+        with pytest.raises(ValueError):
+            LweSecretKey(np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            LweSecretKey(np.zeros((2, 2)))
+
+
+class TestEncryptDecrypt:
+    @pytest.mark.parametrize("m", range(0, P, 3))
+    def test_roundtrip(self, m, key, rng):
+        assert dec(enc(m, key, rng), key) == m
+
+    def test_trivial_has_no_mask(self):
+        ct = lwe_trivial(int(encode_message(5, P)[()]), 32)
+        assert not ct.a.any()
+        assert decode_message(np.asarray(ct.b), P)[()] == 5
+
+    def test_masks_are_random(self, key, rng):
+        c1, c2 = enc(1, key, rng), enc(1, key, rng)
+        assert not np.array_equal(c1.a, c2.a)
+
+
+class TestHomomorphisms:
+    def test_add(self, key, rng):
+        c = lwe_add(enc(3, key, rng), enc(4, key, rng))
+        assert dec(c, key) == 7
+
+    def test_add_wraps_modulo_p(self, key, rng):
+        c = lwe_add(enc(10, key, rng), enc(10, key, rng))
+        assert dec(c, key) == (20 % P)
+
+    def test_sub(self, key, rng):
+        c = lwe_sub(enc(9, key, rng), enc(4, key, rng))
+        assert dec(c, key) == 5
+
+    def test_neg(self, key, rng):
+        c = lwe_neg(enc(3, key, rng))
+        assert dec(c, key) == P - 3
+
+    def test_scalar_mul(self, key, rng):
+        c = lwe_scalar_mul(3, enc(2, key, rng))
+        assert dec(c, key) == 6
+
+    def test_scalar_mul_negative(self, key, rng):
+        c = lwe_scalar_mul(-2, enc(3, key, rng))
+        assert dec(c, key) == (P - 6)
+
+    def test_add_plain(self, key, rng):
+        c = lwe_add_plain(enc(3, key, rng), int(encode_message(2, P)[()]))
+        assert dec(c, key) == 5
+
+    def test_dimension_mismatch_rejected(self, key, rng):
+        short = lwe_trivial(0, 8)
+        with pytest.raises(ValueError):
+            lwe_add(enc(0, key, rng), short)
+        with pytest.raises(ValueError):
+            lwe_sub(enc(0, key, rng), short)
+
+
+class TestCiphertextContainer:
+    def test_copy_is_deep(self, key, rng):
+        ct = enc(1, key, rng)
+        cp = ct.copy()
+        cp.a[0] += 1
+        assert ct.a[0] != cp.a[0]
+
+    def test_dtype_coercion(self):
+        ct = LweCiphertext(np.arange(4, dtype=np.int64), 9)
+        assert ct.a.dtype == np.uint32
+        assert isinstance(ct.b, np.uint32)

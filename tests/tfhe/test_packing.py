@@ -1,0 +1,81 @@
+"""Tests for the LWE-to-GLWE packing key switch."""
+
+import numpy as np
+import pytest
+
+from repro.tfhe.glwe import glwe_decrypt_phase
+from repro.tfhe.packing import PackingKeySwitchingKey, make_packing_ksk, pack_lwes
+from repro.tfhe.torus import decode_message
+
+P = 8
+PK_BETA_BITS, PK_LEVELS = 6, 4
+
+
+@pytest.fixture(scope="module")
+def pksk(ctx):
+    rng = np.random.default_rng(404)
+    return make_packing_ksk(
+        ctx.keyset.lwe_key, ctx.keyset.glwe_key,
+        PK_BETA_BITS, PK_LEVELS, rng, noise_log2=-30.0,
+    )
+
+
+def decode_packed(ctx, packed, count):
+    phase = glwe_decrypt_phase(packed, ctx.keyset.glwe_key)
+    return decode_message(phase[:count], P).tolist()
+
+
+class TestPacking:
+    def test_packs_messages_in_order(self, ctx, pksk):
+        msgs = [1, 3, 0, 2, 1, 2]
+        cts = [ctx.encrypt(m, P) for m in msgs]
+        packed = pack_lwes(cts, pksk, ctx.params.k)
+        assert decode_packed(ctx, packed, len(msgs)) == msgs
+
+    def test_single_ciphertext(self, ctx, pksk):
+        packed = pack_lwes([ctx.encrypt(2, P)], pksk, ctx.params.k)
+        assert decode_packed(ctx, packed, 1) == [2]
+
+    def test_unfilled_slots_are_zero(self, ctx, pksk):
+        packed = pack_lwes([ctx.encrypt(3, P)], pksk, ctx.params.k)
+        rest = decode_packed(ctx, packed, 8)[1:]
+        assert rest == [0] * 7
+
+    def test_packed_output_feeds_sample_extract(self, ctx, pksk):
+        """Packing and extraction are inverses (up to noise)."""
+        from repro.tfhe.glwe import sample_extract
+        from repro.tfhe.lwe import LweSecretKey, lwe_decrypt_phase
+
+        msgs = [2, 1, 3]
+        packed = pack_lwes([ctx.encrypt(m, P) for m in msgs], pksk, ctx.params.k)
+        big_key = LweSecretKey(ctx.keyset.glwe_key.extracted_lwe_bits())
+        for h, m in enumerate(msgs):
+            extracted = sample_extract(packed, h)
+            phase = lwe_decrypt_phase(extracted, big_key)
+            assert int(decode_message(np.asarray(phase), P)[()]) == m
+
+    def test_rejects_empty(self, ctx, pksk):
+        with pytest.raises(ValueError):
+            pack_lwes([], pksk, ctx.params.k)
+
+    def test_rejects_too_many(self, ctx, pksk):
+        cts = [ctx.encrypt(0, P)] * (ctx.params.N + 1)
+        with pytest.raises(ValueError):
+            pack_lwes(cts, pksk, ctx.params.k)
+
+    def test_rejects_wrong_dimension(self, ctx, pksk):
+        from repro.tfhe.lwe import lwe_trivial
+
+        with pytest.raises(ValueError):
+            pack_lwes([lwe_trivial(0, 3)], pksk, ctx.params.k)
+
+    def test_key_shape_validation(self):
+        with pytest.raises(ValueError):
+            PackingKeySwitchingKey(np.zeros((2, 3, 4), dtype=np.uint32), 4)
+
+    def test_overwide_decomposition_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            make_packing_ksk(
+                ctx.keyset.lwe_key, ctx.keyset.glwe_key,
+                beta_bits=8, levels=5, rng=np.random.default_rng(0),
+            )

@@ -1,0 +1,150 @@
+"""Tests for negacyclic torus-polynomial operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tfhe.polynomial import (
+    from_spectrum,
+    monomial_mul,
+    poly_add,
+    poly_mul,
+    poly_mul_spectrum,
+    poly_neg,
+    poly_sub,
+    to_spectrum,
+    zeros,
+)
+from repro.tfhe.torus import to_torus
+
+N = 64
+
+
+def random_torus_poly(rng, n=N):
+    return rng.integers(0, 1 << 32, size=n, dtype=np.uint64).astype(np.uint32)
+
+
+class TestLinearOps:
+    def test_add_sub_roundtrip(self, rng):
+        a, b = random_torus_poly(rng), random_torus_poly(rng)
+        np.testing.assert_array_equal(poly_sub(poly_add(a, b), b), a)
+
+    def test_neg_twice_is_identity(self, rng):
+        a = random_torus_poly(rng)
+        np.testing.assert_array_equal(poly_neg(poly_neg(a)), a)
+
+    def test_zeros_shape_and_dtype(self):
+        z = zeros((3, N))
+        assert z.shape == (3, N)
+        assert z.dtype == np.uint32
+        assert not z.any()
+
+
+class TestMonomialMul:
+    def test_shift_by_zero_is_copy(self, rng):
+        a = random_torus_poly(rng)
+        out = monomial_mul(a, 0)
+        np.testing.assert_array_equal(out, a)
+        assert out is not a
+
+    def test_shift_by_one_moves_and_flips(self):
+        a = np.zeros(4, dtype=np.uint32)
+        a[3] = 7  # 7*X^3
+        out = monomial_mul(a, 1)  # X * 7X^3 = 7X^4 = -7
+        assert out[0] == to_torus(-7)[()]
+        assert not out[1:].any()
+
+    def test_shift_by_n_negates(self, rng):
+        a = random_torus_poly(rng)
+        np.testing.assert_array_equal(monomial_mul(a, N), poly_neg(a))
+
+    def test_period_is_2n(self, rng):
+        a = random_torus_poly(rng)
+        np.testing.assert_array_equal(monomial_mul(a, 2 * N), a)
+
+    def test_negative_shift(self, rng):
+        a = random_torus_poly(rng)
+        np.testing.assert_array_equal(monomial_mul(a, -3), monomial_mul(a, 2 * N - 3))
+
+    @given(st.integers(-300, 300), st.integers(-300, 300), st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_composition(self, s, t, seed):
+        r = np.random.default_rng(seed)
+        a = random_torus_poly(r, 16)
+        lhs = monomial_mul(monomial_mul(a, s), t)
+        rhs = monomial_mul(a, s + t)
+        np.testing.assert_array_equal(lhs, rhs)
+
+    def test_batched(self, rng):
+        a = rng.integers(0, 1 << 32, size=(3, N), dtype=np.uint64).astype(np.uint32)
+        out = monomial_mul(a, 5)
+        for i in range(3):
+            np.testing.assert_array_equal(out[i], monomial_mul(a[i], 5))
+
+
+class TestPolyMul:
+    def test_engines_agree(self, rng):
+        small = rng.integers(-64, 64, size=N)
+        big = random_torus_poly(rng)
+        np.testing.assert_array_equal(
+            poly_mul(small, big, engine="fft"), poly_mul(small, big, engine="exact")
+        )
+
+    def test_multiply_by_one(self, rng):
+        one = np.zeros(N, dtype=np.int64)
+        one[0] = 1
+        a = random_torus_poly(rng)
+        np.testing.assert_array_equal(poly_mul(one, a), a)
+
+    def test_multiply_by_monomial_matches_rotation(self, rng):
+        mono = np.zeros(N, dtype=np.int64)
+        mono[3] = 1
+        a = random_torus_poly(rng)
+        np.testing.assert_array_equal(poly_mul(mono, a), monomial_mul(a, 3))
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            poly_mul(np.zeros(N), np.zeros(N, dtype=np.uint32), engine="karatsuba")
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_distributes_over_addition(self, seed):
+        r = np.random.default_rng(seed)
+        a = r.integers(-32, 32, size=32)
+        x, y = random_torus_poly(r, 32), random_torus_poly(r, 32)
+        lhs = poly_mul(a, poly_add(x, y), engine="exact")
+        rhs = poly_add(poly_mul(a, x, engine="exact"), poly_mul(a, y, engine="exact"))
+        np.testing.assert_array_equal(lhs, rhs)
+
+
+class TestSpectrumPath:
+    def test_spectrum_roundtrip(self, rng):
+        a = rng.integers(-1000, 1000, size=N)
+        np.testing.assert_array_equal(from_spectrum(to_spectrum(a), N), to_torus(a))
+
+    def test_pointwise_product_matches_poly_mul(self, rng):
+        small = rng.integers(-64, 64, size=N)
+        big = random_torus_poly(rng)
+        big_centered = big.astype(np.int32).astype(np.int64)
+        spec = poly_mul_spectrum(to_spectrum(small), to_spectrum(big_centered))
+        np.testing.assert_array_equal(
+            from_spectrum(spec, N), poly_mul(small, big, engine="exact")
+        )
+
+    def test_spectrum_accumulation_linearity(self, rng):
+        """Accumulating in the transform domain == accumulating coefficients.
+
+        This is the linearity property the Output-Reuse datapath relies on.
+        """
+        a1 = rng.integers(-32, 32, size=N)
+        a2 = rng.integers(-32, 32, size=N)
+        b1 = random_torus_poly(rng)
+        b2 = random_torus_poly(rng)
+        b1c = b1.astype(np.int32).astype(np.int64)
+        b2c = b2.astype(np.int32).astype(np.int64)
+        spec_sum = to_spectrum(a1) * to_spectrum(b1c) + to_spectrum(a2) * to_spectrum(b2c)
+        coeff_sum = poly_add(
+            poly_mul(a1, b1, engine="exact"), poly_mul(a2, b2, engine="exact")
+        )
+        np.testing.assert_array_equal(from_spectrum(spec_sum, N), coeff_sum)

@@ -1,0 +1,106 @@
+"""Property-based end-to-end tests: random encrypted programs.
+
+Hypothesis generates random boolean circuits and random integer-op
+sequences; every one must agree with its plaintext golden model.  These
+are the strongest functional invariants in the suite - they exercise
+arbitrary compositions of gates, LUT bootstraps, carries, and
+comparisons through the full scheme.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tfhe.boolean import Circuit
+from repro.tfhe.integer import (
+    add_integers,
+    decrypt_integer,
+    encrypt_integer,
+    equals_integer,
+    less_than_integer,
+)
+from repro.tfhe.ops import GATE_LUTS
+
+GATES = sorted(GATE_LUTS)
+
+
+def build_random_circuit(seed: int, n_inputs: int, n_gates: int) -> Circuit:
+    """Deterministic random DAG: each gate picks two prior wires."""
+    rng = np.random.default_rng(seed)
+    circuit = Circuit()
+    wires = [circuit.add_input(f"x{i}") for i in range(n_inputs)]
+    for _ in range(n_gates):
+        op = GATES[rng.integers(0, len(GATES))]
+        a = wires[rng.integers(0, len(wires))]
+        b = wires[rng.integers(0, len(wires))]
+        if rng.integers(0, 4) == 0:
+            a = circuit.not_gate(a)
+        wires.append(circuit.gate(op, a, b))
+    circuit.mark_output(wires[-1], "out")
+    return circuit
+
+
+class TestRandomCircuits:
+    @given(
+        seed=st.integers(0, 2**31),
+        n_gates=st.integers(1, 5),
+        assignment=st.integers(0, 7),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_encrypted_matches_plain(self, ctx, seed, n_gates, assignment):
+        circuit = build_random_circuit(seed, n_inputs=3, n_gates=n_gates)
+        inputs = {f"x{i}": (assignment >> i) & 1 for i in range(3)}
+        plain = circuit.evaluate_plain(inputs)
+        enc = circuit.evaluate_encrypted(
+            ctx, {k: ctx.encrypt(v) for k, v in inputs.items()}
+        )
+        assert ctx.decrypt(enc["out"]) == plain["out"]
+
+    @given(seed=st.integers(0, 2**31), n_gates=st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_workload_lowering_conserves_gates(self, seed, n_gates):
+        circuit = build_random_circuit(seed, n_inputs=3, n_gates=n_gates)
+        wl = circuit.to_workload("rand")
+        assert wl.total_bootstraps == circuit.gate_count() == n_gates
+        # Levels partition the gates.
+        assert sum(len(l) for l in circuit.levels()) == n_gates
+
+    @given(seed=st.integers(0, 2**31), n_gates=st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_levels_are_topologically_consistent(self, seed, n_gates):
+        circuit = build_random_circuit(seed, n_inputs=3, n_gates=n_gates)
+        levels = circuit.levels()
+        position = {}
+        for depth, level in enumerate(levels):
+            for node_id in level:
+                position[node_id] = depth
+        for node_id, node in enumerate(circuit._nodes):
+            if node.kind != "gate":
+                continue
+            for operand in node.operands:
+                if operand in position:
+                    assert position[operand] < position[node_id]
+
+
+class TestRandomIntegerPrograms:
+    @given(values=st.lists(st.integers(0, 63), min_size=2, max_size=3))
+    @settings(max_examples=4, deadline=None)
+    def test_sum_chain(self, ctx, values):
+        acc = encrypt_integer(ctx, values[0], 3)
+        expected = values[0]
+        for v in values[1:]:
+            acc = add_integers(ctx, acc, encrypt_integer(ctx, v, 3))
+            expected = (expected + v) % 64
+        assert decrypt_integer(ctx, acc) == expected
+
+    @given(a=st.integers(0, 63), b=st.integers(0, 63))
+    @settings(max_examples=4, deadline=None)
+    def test_comparison_trichotomy(self, ctx, a, b):
+        x = encrypt_integer(ctx, a, 3)
+        y = encrypt_integer(ctx, b, 3)
+        lt = ctx.decrypt(less_than_integer(ctx, x, y))
+        eq = ctx.decrypt(equals_integer(ctx, x, y))
+        gt = ctx.decrypt(less_than_integer(ctx, y, x))
+        assert (lt, eq, gt).count(1) == 1
+        assert lt == int(a < b) and eq == int(a == b) and gt == int(a > b)
