@@ -12,7 +12,7 @@ import pytest
 
 from repro import TEST_PARAMS, TfheContext
 from repro.tfhe.ggsw import external_product, external_product_transform, ggsw_encrypt
-from repro.tfhe.glwe import glwe_encrypt, glwe_keygen
+from repro.tfhe.glwe import glwe_encrypt
 from repro.transforms import negacyclic_convolve_fft, negacyclic_fft
 
 

@@ -1,0 +1,135 @@
+"""Benchmark guard: disabled telemetry must cost < 5% on gate bootstraps.
+
+Every instrumented site guards itself with a single ``registry.enabled``
+(or ``tracer.enabled``) read-and-branch, so with telemetry off the code
+path is the uninstrumented one plus those checks.  This bench verifies
+the guarantee two ways on a gate-bootstrap loop (the hottest functional
+path: ``n`` CMux iterations, each several batched FFTs):
+
+1. *Analytic bound*: count the enabled-checks one gate bootstrap actually
+   performs (by swapping in probe registry/tracer classes whose
+   ``enabled`` attribute is a counting property that still reports
+   False), measure the per-check cost in a tight loop, and assert
+   ``checks x cost_per_check < 5%`` of the measured bootstrap time.
+2. *A/B sanity*: time the loop with telemetry disabled vs enabled and
+   print both (informational - wall-clock A/B on equal code paths is too
+   noisy to gate on, the analytic bound is the contract).
+
+Run directly (``python benchmarks/bench_observability_overhead.py``) or
+via pytest.
+"""
+
+import time
+
+import numpy as np
+
+from repro import TEST_PARAMS, observability as obs
+from repro.observability.registry import MetricsRegistry
+from repro.observability.tracer import Tracer
+from repro.tfhe import TfheContext
+from repro.tfhe.gatebootstrap import encrypt_bool, nand_gate
+
+MAX_DISABLED_OVERHEAD = 0.05
+
+
+class _ProbeRegistry(MetricsRegistry):
+    """Registry whose ``enabled`` read is counted (and always False)."""
+
+    checks = 0
+
+    @property
+    def enabled(self):
+        _ProbeRegistry.checks += 1
+        return False
+
+    @enabled.setter
+    def enabled(self, value):
+        pass
+
+
+class _ProbeTracer(Tracer):
+    checks = 0
+
+    @property
+    def enabled(self):
+        _ProbeTracer.checks += 1
+        return False
+
+    @enabled.setter
+    def enabled(self, value):
+        pass
+
+
+def _count_enabled_checks(run_once) -> int:
+    """How many telemetry enabled-checks one gate bootstrap performs."""
+    _ProbeRegistry.checks = _ProbeTracer.checks = 0
+    obs.REGISTRY.__class__ = _ProbeRegistry
+    obs.TRACER.__class__ = _ProbeTracer
+    try:
+        run_once()
+        return _ProbeRegistry.checks + _ProbeTracer.checks
+    finally:
+        obs.REGISTRY.__class__ = MetricsRegistry
+        obs.TRACER.__class__ = Tracer
+        obs.REGISTRY.enabled = False
+        obs.TRACER.enabled = False
+
+
+def _per_check_seconds(iterations: int = 200_000) -> float:
+    """Cost of one disabled-counter update (the whole disabled hot path)."""
+    reg = MetricsRegistry(enabled=False)
+    counter = reg.counter("probe_total")
+    start = time.perf_counter()
+    for _ in range(iterations):
+        counter.inc()
+    return (time.perf_counter() - start) / iterations
+
+
+def _time_loop(run_once, repeats: int = 3, loops: int = 4) -> float:
+    """Best-of-``repeats`` seconds per call for a ``loops``-long run."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(loops):
+            run_once()
+        best = min(best, (time.perf_counter() - start) / loops)
+    return best
+
+
+def test_disabled_instrumentation_overhead_under_5_percent():
+    ctx = TfheContext.create(TEST_PARAMS, seed=11)
+    rng = np.random.default_rng(42)
+    a = encrypt_bool(1, ctx.keyset, rng)
+    b = encrypt_bool(0, ctx.keyset, rng)
+
+    def one_gate_bootstrap():
+        nand_gate(a, b, ctx.keyset)
+
+    obs.disable()
+    checks = _count_enabled_checks(one_gate_bootstrap)
+    per_check = _per_check_seconds()
+    disabled = _time_loop(one_gate_bootstrap)
+
+    overhead = checks * per_check
+    fraction = overhead / disabled
+    obs.enable()
+    try:
+        enabled = _time_loop(one_gate_bootstrap)
+    finally:
+        obs.disable()
+        obs.reset()
+
+    print(
+        f"\n  gate bootstrap: {disabled * 1e3:.2f} ms telemetry-off, "
+        f"{enabled * 1e3:.2f} ms telemetry-on\n"
+        f"  enabled-checks/bootstrap: {checks}, "
+        f"{per_check * 1e9:.0f} ns/check -> "
+        f"{fraction:.3%} of the disabled run (limit {MAX_DISABLED_OVERHEAD:.0%})"
+    )
+    assert checks > 0, "instrumentation sites vanished - nothing was measured"
+    assert fraction < MAX_DISABLED_OVERHEAD
+
+
+if __name__ == "__main__":
+    test_disabled_instrumentation_overhead_under_5_percent()
+    print("overhead guard: OK")

@@ -21,7 +21,6 @@ substitution visible rather than hiding it.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..params import TFHEParams

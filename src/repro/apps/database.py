@@ -26,7 +26,7 @@ from ..tfhe.integer import (
     equals_integer,
     less_than_integer,
 )
-from ..tfhe.lwe import LweCiphertext, lwe_add, lwe_sub
+from ..tfhe.lwe import LweCiphertext, lwe_add
 from ..tfhe.ops import TfheContext
 from .workload import Workload
 

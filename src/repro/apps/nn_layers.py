@@ -15,7 +15,6 @@ Two halves:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..core.scheduler import LayerDemand

@@ -10,7 +10,7 @@ for activations/requantization, linear algebra in between.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.scheduler import LayerDemand
 

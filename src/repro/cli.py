@@ -7,16 +7,28 @@ Commands
 ``area``         print the area/power breakdown of a configuration
 ``workload``     cost an application workload on the accelerator model
 ``demo``         run a functional encrypt/bootstrap/decrypt round-trip
+``trace``        render the XPU pipeline timeline (``--chrome`` exports
+                 a Perfetto/chrome://tracing trace-event file)
+``metrics``      run one telemetry-enabled bootstrap group and print the
+                 metrics snapshot (Prometheus text or ``--json``)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .params import PARAM_SETS, get_params
 
 __all__ = ["main", "build_parser"]
+
+
+def _print_json(payload) -> None:
+    """The one ``--json`` serializer every report command shares."""
+    from .observability import to_jsonable
+
+    print(json.dumps(to_jsonable(payload), indent=2, sort_keys=True))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,14 +42,9 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--set", default="I", dest="param_set",
                      choices=sorted(PARAM_SETS) + ["fig1"],
                      help="TFHE parameter set (Table III)")
-    sim.add_argument("--xpus", type=int, default=4, help="number of XPUs")
-    sim.add_argument("--a1-kib", type=int, default=4096,
-                     help="Private-A1 capacity in KiB")
-    sim.add_argument("--reuse", default="input+output",
-                     choices=["none", "input", "input+output"],
-                     help="transform-domain reuse class")
-    sim.add_argument("--no-merge-split", action="store_true",
-                     help="disable the merge-split FFT")
+    _add_config_args(sim)
+    sim.add_argument("--json", action="store_true",
+                     help="print the full SimulationReport as JSON")
 
     exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
     exp.add_argument("--id", default=None, dest="experiment_id",
@@ -64,7 +71,39 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--reuse", default="input+output",
                        choices=["none", "input", "input+output"])
     trace.add_argument("--no-merge-split", action="store_true")
+    trace.add_argument("--chrome", metavar="PATH", default=None,
+                       help="also write a Chrome/Perfetto trace-event JSON "
+                            "file of the pipeline (open in ui.perfetto.dev)")
+
+    met = sub.add_parser(
+        "metrics",
+        help="simulate one bootstrap group with telemetry on, print metrics",
+    )
+    met.add_argument("--set", default="I", dest="param_set",
+                     choices=sorted(PARAM_SETS) + ["fig1"])
+    _add_config_args(met)
+    met.add_argument("--functional", action="store_true",
+                     help="also run a real (test-parameter) bootstrap so the "
+                          "TFHE/transform counters fire")
+    met.add_argument("--json", action="store_true",
+                     help="print the snapshot as JSON instead of Prometheus "
+                          "text exposition")
+    met.add_argument("--chrome", metavar="PATH", default=None,
+                     help="write the recorded spans as a Chrome/Perfetto "
+                          "trace-event JSON file")
     return parser
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    """Accelerator-configuration flags shared by simulate/metrics."""
+    parser.add_argument("--xpus", type=int, default=4, help="number of XPUs")
+    parser.add_argument("--a1-kib", type=int, default=4096,
+                        help="Private-A1 capacity in KiB")
+    parser.add_argument("--reuse", default="input+output",
+                        choices=["none", "input", "input+output"],
+                        help="transform-domain reuse class")
+    parser.add_argument("--no-merge-split", action="store_true",
+                        help="disable the merge-split FFT")
 
 
 def _config_from_args(args) -> "MorphlingConfig":
@@ -88,6 +127,9 @@ def _cmd_simulate(args) -> int:
     from .core.simulator import simulate_bootstrap
 
     report = simulate_bootstrap(_config_from_args(args), get_params(args.param_set))
+    if args.json:
+        _print_json(report)
+        return 0
     print(f"parameter set {args.param_set}:")
     print(f"  bootstrap latency : {report.bootstrap_latency_ms:.3f} ms")
     print(f"  throughput        : {report.throughput_bs:,.0f} bootstraps/s")
@@ -178,6 +220,7 @@ def _cmd_demo(args) -> int:
 def _cmd_trace(args) -> int:
     from .core.trace import render_timeline, trace_blind_rotation
     from .core.xpu import XpuModel
+    from .observability import pipeline_trace_events, write_chrome_trace
 
     config = _config_from_args_for_trace(args)
     params = get_params(args.param_set)
@@ -186,6 +229,49 @@ def _cmd_trace(args) -> int:
     analytic = XpuModel(config, params).iteration_cycles()
     print(f"steady state: {trace.steady_state_interval():.0f} cycles/iteration "
           f"(analytic {analytic:.0f}); bottleneck: {trace.bottleneck()}")
+    if args.chrome:
+        write_chrome_trace(
+            args.chrome,
+            pipeline_trace_events(trace),
+            metadata={"param_set": params.name, "config": config.name,
+                      "iterations": trace.iterations},
+        )
+        print(f"wrote Chrome trace to {args.chrome} "
+              f"(open in ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from . import observability as obs
+    from .core.simulator import simulate_bootstrap
+
+    config = _config_from_args(args)
+    params = get_params(args.param_set)
+    obs.reset()
+    obs.enable()
+    try:
+        simulate_bootstrap(config, params)
+        if args.functional:
+            from .tfhe.ops import TfheContext
+
+            ctx = TfheContext.create(get_params("test"), seed=0)
+            ctx.bootstrap(ctx.encrypt(1))
+        snapshot = obs.REGISTRY.snapshot()
+        spans = obs.TRACER.spans()
+    finally:
+        obs.disable()
+    if args.chrome:
+        obs.write_chrome_trace(
+            args.chrome, obs.chrome_trace_events(spans),
+            metadata={"param_set": params.name, "config": config.name},
+        )
+    if args.json:
+        _print_json({"param_set": params.name, "config": config.name,
+                     "metrics": snapshot})
+    else:
+        print(obs.render_prometheus(snapshot), end="")
+        if args.chrome:
+            print(f"# wrote Chrome trace to {args.chrome}")
     return 0
 
 
@@ -208,6 +294,7 @@ _COMMANDS = {
     "workload": _cmd_workload,
     "demo": _cmd_demo,
     "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
 }
 
 

@@ -9,7 +9,7 @@ variants used by the Figure 7-b ablation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from .reuse import ReuseType
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from ..params import TFHEParams
 from .accelerator import MorphlingConfig
-from .isa import InstructionStream, XpuOp
+from .isa import XpuOp
 from .isa_encoding import encode_stream
 from .scheduler import HwScheduler, ScheduleResult, SwScheduler
 

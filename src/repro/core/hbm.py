@@ -11,10 +11,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..observability import REGISTRY as _METRICS
 from ..params import TFHEParams
 from .accelerator import MorphlingConfig
 
 __all__ = ["TrafficBreakdown", "HbmModel"]
+
+_HBM_BYTES = _METRICS.counter(
+    "hbm_bytes_total", "Modelled HBM traffic in bytes, by channel group"
+)
+_HBM_TRANSFERS = _METRICS.counter(
+    "hbm_transfers_total", "Modelled HBM transfers accounted, by channel group"
+)
 
 
 @dataclass(frozen=True)
@@ -72,10 +80,16 @@ class HbmModel:
 
     def xpu_transfer_seconds(self, data_bytes: float) -> float:
         """Seconds to move ``data_bytes`` over the XPU channel group."""
+        if _METRICS.enabled:
+            _HBM_BYTES.inc(data_bytes, channel="xpu")
+            _HBM_TRANSFERS.inc(channel="xpu")
         return data_bytes / (self.config.xpu_bandwidth_gbs * 1e9)
 
     def vpu_transfer_seconds(self, data_bytes: float) -> float:
         """Seconds to move ``data_bytes`` over the VPU channel group."""
+        if _METRICS.enabled:
+            _HBM_BYTES.inc(data_bytes, channel="vpu")
+            _HBM_TRANSFERS.inc(channel="vpu")
         return data_bytes / (self.config.vpu_bandwidth_gbs * 1e9)
 
     def sustainable_bootstrap_rate(

@@ -13,8 +13,9 @@ resource model of the paper's pipelined execution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from ..observability import REGISTRY as _METRICS, TRACER as _TRACER
 from ..params import TFHEParams
 from .accelerator import MorphlingConfig
 from .buffers import acc_stream_capacity
@@ -30,6 +31,16 @@ __all__ = [
     "ScheduleResult",
     "run_workload",
 ]
+
+_SCHED_GROUPS = _METRICS.counter(
+    "sched_groups_formed_total", "Scheduler groups lowered by the SW-scheduler"
+)
+_SCHED_INSTRUCTIONS = _METRICS.counter(
+    "sched_instructions_total", "Instructions executed by the HW-scheduler, by op"
+)
+_SCHED_PADDING = _METRICS.counter(
+    "sched_padded_slots_total", "Bootstrap slots scheduled but unused (padding)"
+)
 
 
 @dataclass(frozen=True)
@@ -105,6 +116,8 @@ class SwScheduler:
             while remaining > 0:
                 batches.append(min(self.group_size, remaining))
                 remaining -= batches[-1]
+            if batches:
+                _SCHED_GROUPS.inc(len(batches))
             # Phase 1: prefetch every group's operands.
             loads = []
             for batch in batches:
@@ -271,8 +284,18 @@ class HwScheduler:
             finish[inst.inst_id] = end
             if spans is not None:
                 spans.append((key, inst.op.value, inst.group, start, end))
+            if _METRICS.enabled:
+                _SCHED_INSTRUCTIONS.inc(op=inst.op.value)
+            if _TRACER.enabled:
+                _TRACER.add_span(
+                    inst.op.value, ts_us=start * 1e6, dur_us=duration * 1e6,
+                    category="schedule", track=f"hw/{key}",
+                    args={"group": inst.group, "count": inst.count},
+                )
         total = max(finish.values(), default=0.0)
         waste = 1.0 - used_slots / scheduled_slots if scheduled_slots else 0.0
+        if scheduled_slots:
+            _SCHED_PADDING.inc(scheduled_slots - used_slots)
         # Collapse the per-lane-group VPU engines into one "vpu" row,
         # normalized so utilization stays a fraction of the whole unit.
         groups = self.config.vpu_lane_groups

@@ -63,12 +63,22 @@ class PipelineTrace:
         """Cycles between consecutive iterations' completions (steady state)."""
         ends = sorted(s.end for s in self.stage_spans("inverse_fft"))
         if len(ends) < 3:
-            raise ValueError("need at least 3 iterations for a steady-state read")
+            raise ValueError(
+                f"need at least 3 iterations for a steady-state read; this "
+                f"trace has {len(ends)} (trace.iterations={self.iterations}); "
+                f"re-trace with trace_blind_rotation(..., iterations>=3)"
+            )
         return ends[-1] - ends[-2]
 
     def occupancy(self) -> dict:
-        """Fraction of the traced window each stage spends busy."""
+        """Fraction of the traced window each stage spends busy.
+
+        An empty trace window (no spans, or all zero-length) reports zero
+        occupancy everywhere rather than dividing by zero.
+        """
         total = self.total_cycles()
+        if total <= 0:
+            return dict.fromkeys(STAGES, 0.0)
         return {
             stage: sum(s.duration for s in self.stage_spans(stage)) / total
             for stage in STAGES

@@ -19,7 +19,7 @@ from ..params import TFHEParams
 from ..transforms.pipeline_model import PipelinedFFTModel
 from .accelerator import MorphlingConfig
 from .buffers import shifter_stall_cycles
-from .reuse import ReuseType, transforms_per_external_product
+from .reuse import transforms_per_external_product
 from .vpe_array import map_external_product
 
 __all__ = ["IterationBreakdown", "XpuModel"]

@@ -8,7 +8,7 @@ the reductions relative to No-Reuse.
 from __future__ import annotations
 
 from ..core.reuse import ReuseType, reduction_vs_no_reuse, transforms_per_bootstrap
-from ..params import PARAM_SETS, TFHEParams
+from ..params import PARAM_SETS
 from .common import ExperimentResult
 
 __all__ = ["run_fig3"]

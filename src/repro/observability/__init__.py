@@ -1,0 +1,109 @@
+"""Unified telemetry: metrics registry, span tracer, exporters.
+
+This package is the instrumentation substrate every layer shares.  The
+process-wide singletons are
+
+- :data:`REGISTRY` - the :class:`~repro.observability.registry.MetricsRegistry`
+  all hot paths register their counters/gauges/histograms on;
+- :data:`TRACER` - the :class:`~repro.observability.tracer.Tracer`
+  collecting wall-clock and simulated-time spans.
+
+Telemetry is **off by default**: every instrumented site guards itself
+with one ``enabled`` check, so the uninstrumented code path is restored
+when disabled (see ``benchmarks/bench_observability_overhead.py``).
+Turn it on around a region of interest::
+
+    from repro import observability as obs
+
+    with obs.telemetry():
+        simulate_bootstrap(config, params)
+        print(obs.render_prometheus(obs.REGISTRY.snapshot()))
+
+or globally with :func:`enable` / :func:`disable`.  Exporters turn what
+was recorded into Prometheus text, JSON, or a Chrome trace-event file
+that opens in Perfetto (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .export import (
+    chrome_trace_events,
+    pipeline_trace_events,
+    render_prometheus,
+    schedule_trace_events,
+    to_jsonable,
+    write_chrome_trace,
+)
+from .registry import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import Span, Tracer, traced
+
+__all__ = [
+    "REGISTRY",
+    "TRACER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "Tracer",
+    "Span",
+    "traced",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "telemetry",
+    "to_jsonable",
+    "render_prometheus",
+    "chrome_trace_events",
+    "pipeline_trace_events",
+    "schedule_trace_events",
+    "write_chrome_trace",
+]
+
+#: Process-wide metrics registry (disabled until :func:`enable`).
+REGISTRY = MetricsRegistry()
+
+#: Process-wide span tracer (disabled until :func:`enable`).
+TRACER = Tracer()
+
+
+def enable() -> None:
+    """Switch both the registry and the tracer on."""
+    REGISTRY.enable()
+    TRACER.enable()
+
+
+def disable() -> None:
+    """Switch both the registry and the tracer off."""
+    REGISTRY.disable()
+    TRACER.disable()
+
+
+def is_enabled() -> bool:
+    return REGISTRY.enabled or TRACER.enabled
+
+
+def reset() -> None:
+    """Clear all recorded metrics and spans (registrations survive)."""
+    REGISTRY.reset()
+    TRACER.reset()
+
+
+@contextmanager
+def telemetry(clear: bool = True):
+    """Enable telemetry for a ``with`` block, restoring the prior state.
+
+    With ``clear`` (the default) the registry and tracer are reset on
+    entry so the block observes only its own activity.
+    """
+    prior = (REGISTRY.enabled, TRACER.enabled)
+    if clear:
+        reset()
+    enable()
+    try:
+        yield REGISTRY, TRACER
+    finally:
+        REGISTRY.enabled, TRACER.enabled = prior

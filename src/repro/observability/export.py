@@ -1,0 +1,231 @@
+"""Exporters: Prometheus text, JSON snapshots, Chrome trace-event JSON.
+
+Three consumers, one data model:
+
+- :func:`render_prometheus` turns a registry snapshot into the text
+  exposition format a Prometheus scrape endpoint would serve;
+- :func:`to_jsonable` is the single serializer behind every ``--json``
+  CLI surface: it converts dataclasses (``SimulationReport``,
+  ``IterationBreakdown``...), numpy scalars/arrays, enums and nested
+  containers into plain JSON types;
+- the ``*_trace_events`` family renders spans - recorded by the tracer,
+  replayed from a :class:`~repro.core.trace.PipelineTrace`, or taken
+  from a scheduler :class:`~repro.core.scheduler.ScheduleResult` - as
+  Chrome trace-event dicts (``ph: "X"`` complete events plus ``ph: "M"``
+  thread-name metadata), which :func:`write_chrome_trace` wraps into a
+  file that loads directly in Perfetto or ``chrome://tracing``.
+
+The trace-event converters only duck-type their inputs (``.spans``,
+``.config.clock_ghz``), keeping this module import-free of the core
+layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+
+__all__ = [
+    "to_jsonable",
+    "render_prometheus",
+    "chrome_trace_events",
+    "pipeline_trace_events",
+    "schedule_trace_events",
+    "write_chrome_trace",
+]
+
+
+# ---------------------------------------------------------------------------
+# JSON serialization (shared by CLI --json and the snapshot exporter)
+# ---------------------------------------------------------------------------
+def to_jsonable(obj):
+    """Recursively convert ``obj`` into JSON-serializable plain types."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {_key(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in obj]
+    # numpy scalars and arrays, without importing numpy here
+    item = getattr(obj, "item", None)
+    if callable(item) and getattr(obj, "shape", None) == ():
+        return to_jsonable(obj.item())
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):
+        return to_jsonable(tolist())
+    return str(obj)
+
+
+def _key(k) -> str:
+    if isinstance(k, enum.Enum):
+        return str(k.value)
+    return str(k)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+def _format_labels(labels: dict, extra: dict = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in text exposition format."""
+    lines = []
+    for name, metric in snapshot.items():
+        if metric["help"]:
+            lines.append(f"# HELP {name} {metric['help']}")
+        lines.append(f"# TYPE {name} {metric['type']}")
+        for series in metric["values"]:
+            labels = series["labels"]
+            if metric["type"] == "histogram":
+                for bound, count in series["buckets"].items():
+                    le = _format_labels(labels, {"le": _format_value(bound)})
+                    lines.append(f"{name}_bucket{le} {count}")
+                inf = _format_labels(labels, {"le": "+Inf"})
+                lines.append(f"{name}_bucket{inf} {series['count']}")
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)} "
+                    f"{_format_value(series['sum'])}"
+                )
+                lines.append(f"{name}_count{_format_labels(labels)} {series['count']}")
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labels)} "
+                    f"{_format_value(series['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace events
+# ---------------------------------------------------------------------------
+_PID = 0  # single logical process; tracks map to tids
+
+
+def _track_ids(tracks) -> dict:
+    return {track: tid for tid, track in enumerate(sorted(tracks))}
+
+
+def _thread_metadata(track_ids: dict) -> list:
+    return [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": track},
+        }
+        for track, tid in sorted(track_ids.items(), key=lambda kv: kv[1])
+    ]
+
+
+def chrome_trace_events(spans) -> list:
+    """Convert tracer :class:`~repro.observability.tracer.Span` objects.
+
+    Produces ``ph: "X"`` (complete) events preceded by thread-name
+    metadata so each span's ``track`` renders as its own named row.
+    """
+    spans = list(spans)
+    track_ids = _track_ids({s.track for s in spans})
+    events = _thread_metadata(track_ids)
+    for s in spans:
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.category or "span",
+                "ph": "X",
+                "ts": s.ts_us,
+                "dur": s.dur_us,
+                "pid": _PID,
+                "tid": track_ids[s.track],
+                "args": to_jsonable(s.args),
+            }
+        )
+    return events
+
+
+def pipeline_trace_events(trace, clock_ghz: float = None) -> list:
+    """Render a :class:`~repro.core.trace.PipelineTrace` as trace events.
+
+    Stage spans are in cycles; ``clock_ghz`` (defaulting to the traced
+    config's clock) converts them to microseconds so the viewer's time
+    axis is real time.  One row per pipeline stage, iteration number in
+    the args.
+    """
+    if clock_ghz is None:
+        clock_ghz = trace.config.clock_ghz
+    us_per_cycle = 1e-3 / clock_ghz
+    track_ids = _track_ids({s.stage for s in trace.spans})
+    events = _thread_metadata(track_ids)
+    for s in trace.spans:
+        events.append(
+            {
+                "name": f"{s.stage} i{s.iteration}",
+                "cat": "xpu_pipeline",
+                "ph": "X",
+                "ts": s.start * us_per_cycle,
+                "dur": s.duration * us_per_cycle,
+                "pid": _PID,
+                "tid": track_ids[s.stage],
+                "args": {"iteration": s.iteration, "cycles": s.duration},
+            }
+        )
+    return events
+
+
+def schedule_trace_events(result) -> list:
+    """Render a scheduler :class:`ScheduleResult` (``record_spans=True``).
+
+    Each engine becomes a row; each instruction a complete event with its
+    group id in the args.  Times are seconds of simulated time -> us.
+    """
+    if not result.spans:
+        raise ValueError("execute the stream with record_spans=True first")
+    track_ids = _track_ids({s[0] for s in result.spans})
+    events = _thread_metadata(track_ids)
+    for engine, op, group, start, end in result.spans:
+        events.append(
+            {
+                "name": op,
+                "cat": "schedule",
+                "ph": "X",
+                "ts": start * 1e6,
+                "dur": (end - start) * 1e6,
+                "pid": _PID,
+                "tid": track_ids[engine],
+                "args": {"group": group},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(path, events, metadata: dict = None) -> None:
+    """Write trace events as a JSON object file Perfetto can open."""
+    document = {"traceEvents": list(events), "displayTimeUnit": "ms"}
+    if metadata:
+        document["otherData"] = to_jsonable(metadata)
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=1)

@@ -22,8 +22,7 @@ All parameters follow the paper's notation (its Table II):
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = [
     "TFHEParams",

@@ -17,7 +17,7 @@ and multiplexers cover the structures the paper's applications need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .ops import GATE_LUTS, TfheContext
 

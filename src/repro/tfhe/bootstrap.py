@@ -17,17 +17,17 @@ analysis layer (Fig. 1) can account real executions rather than formulas.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..params import TFHEParams
+from ..observability import REGISTRY as _METRICS, TRACER as _TRACER
 from .decomposition import decompose
 from .ggsw import cmux
 from .glwe import GlweCiphertext, glwe_rotate, glwe_trivial, sample_extract
 from .keys import KeySet, KeySwitchingKey
 from .lwe import LweCiphertext
-from .torus import TORUS_DTYPE, modswitch, to_torus
+from .torus import modswitch, to_torus
 
 __all__ = [
     "BootstrapTrace",
@@ -36,6 +36,20 @@ __all__ = [
     "key_switch",
     "programmable_bootstrap",
 ]
+
+_BOOTSTRAPS = _METRICS.counter(
+    "tfhe_bootstraps_total", "Programmable bootstraps executed (functional path)"
+)
+_BR_STEPS = _METRICS.counter(
+    "tfhe_blind_rotation_steps_total",
+    "Blind-rotation CMux iterations executed (zero digits skipped)",
+)
+_EXTERNAL_PRODUCTS = _METRICS.counter(
+    "tfhe_external_products_total", "GGSW external products executed, by engine"
+)
+_KEY_SWITCHES = _METRICS.counter(
+    "tfhe_key_switches_total", "LWE key switches executed"
+)
 
 
 @dataclass
@@ -80,18 +94,23 @@ def blind_rotate(
     params = keyset.params
     acc = glwe_trivial(test_poly, params.k)
     acc = glwe_rotate(acc, -b_tilde)
+    steps = 0
     for i in range(params.n):
         t = int(a_tilde[i])
         if t == 0:
             continue
         rotated = glwe_rotate(acc, t)
         acc = cmux(keyset.bsk[i], acc, rotated, engine=engine)
+        steps += 1
         if trace is not None:
             trace.external_products += 1
             trace.rotations += 1
             trace.forward_transforms += (params.k + 1) * params.l_b
             trace.inverse_transforms += params.k + 1
             trace.pointwise_mult_polys += (params.k + 1) ** 2 * params.l_b
+    if steps and _METRICS.enabled:
+        _BR_STEPS.inc(steps)
+        _EXTERNAL_PRODUCTS.inc(steps, engine=engine)
     return acc
 
 
@@ -114,6 +133,7 @@ def key_switch(
     body_acc = np.int64(ct.b) - (d64 * ksk.bodies.astype(np.int64)).sum()
     if trace is not None:
         trace.ks_scalar_mults += int(digits.size) * (ksk.out_dimension + 1)
+    _KEY_SWITCHES.inc()
     return LweCiphertext(to_torus(mask_acc), to_torus(body_acc)[()])
 
 
@@ -131,9 +151,15 @@ def programmable_bootstrap(
     ``"exact"`` (integer reference).
     """
     params = keyset.params
-    a_tilde, b_tilde = modulus_switch(ct, params.N)
-    if trace is not None:
-        trace.ms_operations += params.n + 1
-    acc = blind_rotate(a_tilde, b_tilde, test_poly, keyset, engine=engine, trace=trace)
-    extracted = sample_extract(acc, 0)
-    return key_switch(extracted, keyset.ksk, trace=trace)
+    with _TRACER.span("programmable_bootstrap", category="tfhe",
+                      engine=engine, n=params.n, N=params.N):
+        a_tilde, b_tilde = modulus_switch(ct, params.N)
+        if trace is not None:
+            trace.ms_operations += params.n + 1
+        acc = blind_rotate(
+            a_tilde, b_tilde, test_poly, keyset, engine=engine, trace=trace
+        )
+        extracted = sample_extract(acc, 0)
+        result = key_switch(extracted, keyset.ksk, trace=trace)
+    _BOOTSTRAPS.inc()
+    return result

@@ -18,7 +18,7 @@ essential.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..params import TFHEParams
 from .noise import (

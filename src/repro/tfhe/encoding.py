@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..params import TFHEParams
-from .torus import TORUS_DTYPE, decode_message, encode_message, to_torus
+from .torus import encode_message
 
 __all__ = [
     "extend_lut_antiperiodic",

@@ -17,10 +17,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observability import REGISTRY as _METRICS, TRACER as _TRACER
 from .bootstrap import blind_rotate, key_switch, modulus_switch
 from .glwe import sample_extract
 from .keys import KeySet
-from .lwe import LweCiphertext, lwe_add, lwe_add_plain, lwe_neg, lwe_sub, lwe_encrypt, lwe_decrypt_phase
+from .lwe import (
+    LweCiphertext,
+    lwe_add,
+    lwe_add_plain,
+    lwe_decrypt_phase,
+    lwe_encrypt,
+    lwe_neg,
+)
 from .torus import TORUS_DTYPE, to_torus, u32
 
 __all__ = [
@@ -36,6 +44,13 @@ __all__ = [
 ]
 
 _EIGHTH = 1 << 29  # 1/8 of the torus as a q=2^32 numerator
+
+_GATE_BOOTSTRAPS = _METRICS.counter(
+    "tfhe_gate_bootstraps_total", "CGGI sign-extraction bootstraps executed"
+)
+_GATES = _METRICS.counter(
+    "tfhe_gates_total", "Boolean gates evaluated (CGGI dialect), by gate"
+)
 
 
 def encrypt_bool(bit: int, keyset: KeySet, rng: np.random.Generator) -> LweCiphertext:
@@ -66,15 +81,20 @@ def bootstrap_to_sign(ct: LweCiphertext, keyset: KeySet) -> LweCiphertext:
     ``-1/8``.
     """
     params = keyset.params
-    a_tilde, b_tilde = modulus_switch(ct, params.N)
-    # Gate outputs land at +-1/8 or +-3/8, a 1/8 margin from the
-    # half-torus decision boundaries at 0 and 1/2 - noise budget enough.
-    acc = blind_rotate(a_tilde, b_tilde, _sign_test_polynomial(params), keyset)
-    extracted = sample_extract(acc, 0)
-    return key_switch(extracted, keyset.ksk)
+    with _TRACER.span("bootstrap_to_sign", category="tfhe", n=params.n):
+        a_tilde, b_tilde = modulus_switch(ct, params.N)
+        # Gate outputs land at +-1/8 or +-3/8, a 1/8 margin from the
+        # half-torus decision boundaries at 0 and 1/2 - noise budget enough.
+        acc = blind_rotate(a_tilde, b_tilde, _sign_test_polynomial(params), keyset)
+        extracted = sample_extract(acc, 0)
+        result = key_switch(extracted, keyset.ksk)
+    _GATE_BOOTSTRAPS.inc()
+    return result
 
 
-def _gate(offset_eighths: int, terms: list, keyset: KeySet) -> LweCiphertext:
+def _gate(offset_eighths: int, terms: list, keyset: KeySet,
+          name: str = "gate") -> LweCiphertext:
+    _GATES.inc(gate=name)
     acc = None
     for sign, ct in terms:
         signed = ct if sign > 0 else lwe_neg(ct)
@@ -85,17 +105,17 @@ def _gate(offset_eighths: int, terms: list, keyset: KeySet) -> LweCiphertext:
 
 def nand_gate(a: LweCiphertext, b: LweCiphertext, keyset: KeySet) -> LweCiphertext:
     """``NAND(a, b) = sign(1/8 - a - b)``."""
-    return _gate(1, [(-1, a), (-1, b)], keyset)
+    return _gate(1, [(-1, a), (-1, b)], keyset, name="nand")
 
 
 def and_gate(a: LweCiphertext, b: LweCiphertext, keyset: KeySet) -> LweCiphertext:
     """``AND(a, b) = sign(-1/8 + a + b)``."""
-    return _gate(-1, [(1, a), (1, b)], keyset)
+    return _gate(-1, [(1, a), (1, b)], keyset, name="and")
 
 
 def or_gate(a: LweCiphertext, b: LweCiphertext, keyset: KeySet) -> LweCiphertext:
     """``OR(a, b) = sign(1/8 + a + b)``."""
-    return _gate(1, [(1, a), (1, b)], keyset)
+    return _gate(1, [(1, a), (1, b)], keyset, name="or")
 
 
 def xor_gate(a: LweCiphertext, b: LweCiphertext, keyset: KeySet) -> LweCiphertext:
@@ -104,6 +124,7 @@ def xor_gate(a: LweCiphertext, b: LweCiphertext, keyset: KeySet) -> LweCiphertex
     Equal bits push the phase to ``1/4 -+ 1/2 = -1/4`` (negative half);
     unequal bits cancel and leave ``+1/4``.
     """
+    _GATES.inc(gate="xor")
     total = lwe_add(a, b)
     doubled = lwe_add(total, total)
     offset = lwe_add_plain(doubled, int(to_torus(2 * _EIGHTH)[()]))
@@ -112,6 +133,7 @@ def xor_gate(a: LweCiphertext, b: LweCiphertext, keyset: KeySet) -> LweCiphertex
 
 def not_gate(a: LweCiphertext) -> LweCiphertext:
     """NOT is negation in the ``+-1/8`` encoding (no bootstrap)."""
+    _GATES.inc(gate="not")
     return lwe_neg(a)
 
 
@@ -119,6 +141,7 @@ def mux_gate(
     sel: LweCiphertext, when1: LweCiphertext, when0: LweCiphertext, keyset: KeySet
 ) -> LweCiphertext:
     """``MUX = OR(AND(sel, when1), AND(NOT sel, when0))`` (three bootstraps)."""
+    _GATES.inc(gate="mux")
     take1 = and_gate(sel, when1, keyset)
     take0 = and_gate(not_gate(sel), when0, keyset)
     return or_gate(take1, take0, keyset)

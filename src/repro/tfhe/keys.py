@@ -14,9 +14,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..params import TFHEParams
-from .ggsw import GgswCiphertext, ggsw_encrypt
+from .ggsw import ggsw_encrypt
 from .glwe import GlweSecretKey, glwe_keygen
-from .lwe import LweCiphertext, LweSecretKey, gaussian_torus_noise, lwe_keygen
+from .lwe import LweSecretKey, gaussian_torus_noise, lwe_keygen
 from .torus import TORUS_DTYPE, to_torus
 
 __all__ = ["KeySwitchingKey", "KeySet", "generate_keyset", "make_ksk"]

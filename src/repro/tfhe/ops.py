@@ -27,7 +27,6 @@ from .lwe import (
     lwe_encrypt,
     lwe_decrypt_phase,
     lwe_scalar_mul,
-    lwe_sub,
 )
 from .torus import decode_message, encode_message
 

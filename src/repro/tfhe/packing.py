@@ -21,11 +21,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..params import TFHEParams
 from .decomposition import decompose
 from .glwe import GlweCiphertext, GlweSecretKey, glwe_encrypt
-from .keys import KeySet
-from .lwe import LweCiphertext, LweSecretKey
+from .lwe import LweSecretKey
 from .polynomial import monomial_mul
 from .torus import TORUS_DTYPE, to_torus
 

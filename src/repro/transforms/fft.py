@@ -14,6 +14,8 @@ import math
 
 import numpy as np
 
+from ..observability import REGISTRY as _METRICS
+
 __all__ = [
     "bit_reverse_permutation",
     "fft",
@@ -25,6 +27,22 @@ __all__ = [
 
 _PERM_CACHE: dict = {}
 _TWIDDLE_CACHE: dict = {}
+
+_FFT_CALLS = _METRICS.counter(
+    "transforms_fft_total", "FFT passes executed, by direction (batch-aware)"
+)
+_FFT_POINTS = _METRICS.histogram(
+    "transforms_fft_points", "Distribution of FFT transform lengths"
+)
+
+
+def _count_transforms(shape, direction: str) -> None:
+    """Account one batched FFT call: ``prod(shape[:-1])`` transforms."""
+    count = 1
+    for dim in shape[:-1]:
+        count *= int(dim)
+    _FFT_CALLS.inc(count, direction=direction)
+    _FFT_POINTS.observe(shape[-1], count=count)
 
 
 def bit_reverse_permutation(n: int) -> np.ndarray:
@@ -57,14 +75,8 @@ def _stage_twiddles(n: int) -> list:
     return tw
 
 
-def fft(x: np.ndarray) -> np.ndarray:
-    """Forward FFT of a complex vector (or batch of vectors on axis -1).
-
-    Iterative radix-2 decimation-in-time: bit-reverse the input then apply
-    ``log2(n)`` butterfly stages.  Accepts any shape; the transform runs
-    along the last axis, which must be a power of two.
-    """
-    x = np.asarray(x, dtype=np.complex128)
+def _fft_core(x: np.ndarray) -> np.ndarray:
+    """Uninstrumented butterfly engine shared by :func:`fft` and :func:`ifft`."""
     n = x.shape[-1]
     if n == 1:
         return x.copy()
@@ -80,11 +92,26 @@ def fft(x: np.ndarray) -> np.ndarray:
     return out
 
 
+def fft(x: np.ndarray) -> np.ndarray:
+    """Forward FFT of a complex vector (or batch of vectors on axis -1).
+
+    Iterative radix-2 decimation-in-time: bit-reverse the input then apply
+    ``log2(n)`` butterfly stages.  Accepts any shape; the transform runs
+    along the last axis, which must be a power of two.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    if _METRICS.enabled:
+        _count_transforms(x.shape, "forward")
+    return _fft_core(x)
+
+
 def ifft(x: np.ndarray) -> np.ndarray:
     """Inverse FFT along the last axis (unitary pairing with :func:`fft`)."""
     x = np.asarray(x, dtype=np.complex128)
+    if _METRICS.enabled:
+        _count_transforms(x.shape, "inverse")
     n = x.shape[-1]
-    return np.conj(fft(np.conj(x))) / n
+    return np.conj(_fft_core(np.conj(x))) / n
 
 
 # ---------------------------------------------------------------------------

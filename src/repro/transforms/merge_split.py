@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observability import REGISTRY as _METRICS
 from .fft import fft, ifft
-from .negacyclic import negacyclic_fft, negacyclic_ifft, transform_length
+from .negacyclic import negacyclic_fft, negacyclic_ifft
 
 __all__ = [
     "merged_fft",
@@ -31,12 +32,19 @@ __all__ = [
 ]
 
 
+_MERGE_SPLIT = _METRICS.counter(
+    "transforms_merge_split_total",
+    "Merge-split passes (two real polynomials through one FFT), by kind",
+)
+
+
 def merged_fft(p: np.ndarray, r: np.ndarray) -> np.ndarray:
     """FFT of the packed signal ``p + i*r`` (both real, same length)."""
     p = np.asarray(p, dtype=np.float64)
     r = np.asarray(r, dtype=np.float64)
     if p.shape != r.shape:
         raise ValueError("merged polynomials must have identical shapes")
+    _MERGE_SPLIT.inc(kind="merged_fft")
     return fft(p + 1j * r)
 
 
@@ -59,6 +67,7 @@ def merge_spectra(p_spec: np.ndarray, r_spec: np.ndarray) -> np.ndarray:
 
 def merged_ifft(p_spec: np.ndarray, r_spec: np.ndarray) -> tuple:
     """One IFFT pass returning both real signals (inverse merge-split)."""
+    _MERGE_SPLIT.inc(kind="merged_ifft")
     z = ifft(merge_spectra(p_spec, r_spec))
     return z.real, z.imag
 
@@ -75,9 +84,11 @@ def negacyclic_fft_pair(p: np.ndarray, r: np.ndarray) -> tuple:
     functional path simple (two folded transforms) because the padding
     trick the RTL uses does not change the math, only the cycle count.
     """
+    _MERGE_SPLIT.inc(kind="negacyclic_fft_pair")
     return negacyclic_fft(p), negacyclic_fft(r)
 
 
 def negacyclic_ifft_pair(p_spec: np.ndarray, r_spec: np.ndarray, n: int) -> tuple:
     """Inverse-transform two spectra (single hardware IFFT pass)."""
+    _MERGE_SPLIT.inc(kind="negacyclic_ifft_pair")
     return negacyclic_ifft(p_spec, n), negacyclic_ifft(r_spec, n)

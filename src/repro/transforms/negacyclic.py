@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observability import REGISTRY as _METRICS
 from .fft import fft, ifft
 
 __all__ = [
@@ -34,6 +35,18 @@ __all__ = [
 ]
 
 _TWIST_CACHE: dict = {}
+
+_NEGACYCLIC = _METRICS.counter(
+    "transforms_negacyclic_total",
+    "Negacyclic polynomial transforms, by direction (batch-aware)",
+)
+
+
+def _count_polys(shape) -> int:
+    count = 1
+    for dim in shape[:-1]:
+        count *= int(dim)
+    return count
 
 
 def transform_length(n: int) -> int:
@@ -63,6 +76,8 @@ def negacyclic_fft(p: np.ndarray) -> np.ndarray:
     p = np.asarray(p, dtype=np.float64)
     n = p.shape[-1]
     half = transform_length(n)
+    if _METRICS.enabled:
+        _NEGACYCLIC.inc(_count_polys(p.shape), direction="forward")
     folded = (p[..., :half] + 1j * p[..., half:]) * _twist(n)
     return fft(folded)
 
@@ -74,6 +89,8 @@ def negacyclic_ifft(spectrum: np.ndarray, n: int) -> np.ndarray:
         raise ValueError(
             f"spectrum length {spectrum.shape[-1]} != N/2 = {half}"
         )
+    if _METRICS.enabled:
+        _NEGACYCLIC.inc(_count_polys(spectrum.shape), direction="inverse")
     folded = ifft(spectrum) * np.conj(_twist(n))
     out = np.empty(spectrum.shape[:-1] + (n,), dtype=np.float64)
     out[..., :half] = folded.real

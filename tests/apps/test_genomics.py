@@ -1,6 +1,5 @@
 """Tests for the secure genome-matching application."""
 
-import itertools
 
 import pytest
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import TEST_PARAMS, TfheContext
-from repro.tfhe import generate_keyset
 
 
 @pytest.fixture(scope="session")

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import TEST_PARAMS
 from repro.core.accelerator import MorphlingConfig
 from repro.core.machine import MorphlingMachine
 from repro.core.trace import render_timeline, trace_blind_rotation

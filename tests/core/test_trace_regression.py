@@ -1,0 +1,75 @@
+"""Regression coverage for :mod:`repro.core.trace`.
+
+The traced steady-state interval must agree with the analytic
+:meth:`XpuModel.iteration_cycles` across parameter sets and reuse
+configurations, the ASCII timeline must stay pixel-stable (golden test),
+and the empty/short-trace edge cases must degrade cleanly.
+"""
+
+import pytest
+
+from repro.core.accelerator import MorphlingConfig
+from repro.core.trace import PipelineTrace, STAGES, render_timeline, trace_blind_rotation
+from repro.core.xpu import XpuModel
+from repro.params import get_params
+
+#: (config, parameter set) pairs spanning reuse classes and ring sizes.
+CONFIGS = [
+    (MorphlingConfig(), "I"),
+    (MorphlingConfig(), "II"),
+    (MorphlingConfig(), "III"),
+    (MorphlingConfig.no_reuse(), "C"),
+    (MorphlingConfig(merge_split=False), "B"),
+]
+
+
+class TestSteadyStateRegression:
+    @pytest.mark.parametrize("config,param_set", CONFIGS)
+    def test_traced_interval_matches_analytic(self, config, param_set):
+        params = get_params(param_set)
+        trace = trace_blind_rotation(config, params, iterations=8)
+        analytic = XpuModel(config, params).iteration_cycles()
+        assert trace.steady_state_interval() == pytest.approx(analytic)
+
+    @pytest.mark.parametrize("config,param_set", CONFIGS)
+    def test_occupancy_fractions_are_sane(self, config, param_set):
+        trace = trace_blind_rotation(config, get_params(param_set), iterations=8)
+        occ = trace.occupancy()
+        assert set(occ) == set(STAGES)
+        assert all(0 < v <= 1 for v in occ.values())
+
+
+GOLDEN_TIMELINE = (
+    "rotation       |00111222333                             |\n"
+    "decomposition  |  00000011111122222233333               |\n"
+    "forward_fft    |        00000011111 22222333333         |\n"
+    "vpe_stream     |              00000111111222222333333   |\n"
+    "inverse_fft    |                   000   111   222   333|\n"
+    "cycles         |0                                   1808|"
+)
+
+
+class TestRenderTimelineGolden:
+    def test_default_config_set_i_is_stable(self):
+        trace = trace_blind_rotation(MorphlingConfig(), get_params("I"),
+                                     iterations=4)
+        assert render_timeline(trace, width=40) == GOLDEN_TIMELINE
+
+    def test_empty_trace_renders_placeholder(self):
+        empty = PipelineTrace([], 0, MorphlingConfig(), get_params("I"))
+        assert render_timeline(empty) == "(empty trace)"
+
+
+class TestEmptyAndShortTraces:
+    def test_empty_window_occupancy_is_zero_not_nan(self):
+        empty = PipelineTrace([], 0, MorphlingConfig(), get_params("I"))
+        occ = empty.occupancy()
+        assert occ == dict.fromkeys(STAGES, 0.0)
+
+    def test_steady_state_error_names_iteration_count(self):
+        short = trace_blind_rotation(MorphlingConfig(), get_params("I"),
+                                     iterations=2)
+        with pytest.raises(ValueError, match=r"trace has 2"):
+            short.steady_state_interval()
+        with pytest.raises(ValueError, match=r"iterations=2"):
+            short.steady_state_interval()

@@ -7,7 +7,7 @@ from repro.core.accelerator import MorphlingConfig
 from repro.core.vpe_array import VpeArray, map_external_product
 from repro.params import get_params
 from repro.tfhe.ggsw import external_product_transform, ggsw_encrypt
-from repro.tfhe.glwe import glwe_decrypt_phase, glwe_encrypt, glwe_keygen
+from repro.tfhe.glwe import glwe_encrypt, glwe_keygen
 from repro.tfhe.torus import encode_message
 
 K, N = 1, 64

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.accelerator import MorphlingConfig
-from repro.core.reuse import ReuseType
 from repro.core.vpu import VpuModel
 from repro.core.xpu import XpuModel
 from repro.params import get_params

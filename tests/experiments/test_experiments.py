@@ -7,15 +7,9 @@ from repro.experiments import (
     ExperimentResult,
     morphling_throughputs,
     run_all,
-    run_fig1,
     run_fig3,
-    run_fig7a,
-    run_fig7b,
     run_fig8a,
     run_fig8b,
-    run_table1,
-    run_table3,
-    run_table4,
     run_table5,
     run_table6,
 )

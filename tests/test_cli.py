@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -78,3 +80,65 @@ class TestTraceCommand:
         assert main(["trace", "--reuse", "none", "--no-merge-split"]) == 0
         out = capsys.readouterr().out
         assert "bottleneck" in out
+
+    def test_trace_chrome_export(self, capsys, tmp_path):
+        path = tmp_path / "pipeline.json"
+        assert main(["trace", "--iterations", "4", "--chrome", str(path)]) == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 4 * 5  # iterations x pipeline stages
+        assert all({"name", "ts", "dur", "pid", "tid"} <= set(e)
+                   for e in complete)
+
+
+class TestJsonReports:
+    def test_simulate_json_uses_shared_serializer(self, capsys):
+        assert main(["simulate", "--set", "I", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["group_size"] == 64
+        assert report["bottleneck"] == "xpu_compute"
+        assert report["traffic"]["bsk_bytes"] > 0
+
+    def test_metrics_json_snapshot(self, capsys):
+        assert main(["metrics", "--set", "I", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        metrics = doc["metrics"]
+        values = {
+            name: {tuple(sorted(v["labels"].items())): v["value"]
+                   for v in metric["values"]}
+            for name, metric in metrics.items()
+            if metric["type"] == "counter"
+        }
+        assert values["sim_bootstraps_total"][()] == 64
+        assert values["hbm_bytes_total"][(("channel", "xpu"),)] > 0
+        assert values["sim_transforms_total"][(("direction", "forward"),)] > 0
+
+
+class TestMetricsCommand:
+    def test_prometheus_text_default(self, capsys):
+        assert main(["metrics", "--set", "I"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE sim_bootstraps_total counter" in out
+        assert "sim_bootstraps_total 64" in out
+        assert 'hbm_bytes_total{channel="xpu"}' in out
+
+    def test_functional_fires_tfhe_counters(self, capsys):
+        assert main(["metrics", "--set", "I", "--functional"]) == 0
+        out = capsys.readouterr().out
+        assert "tfhe_bootstraps_total 1" in out
+        assert 'transforms_fft_total{direction="forward"}' in out
+
+    def test_chrome_span_export(self, capsys, tmp_path):
+        path = tmp_path / "spans.json"
+        assert main(["metrics", "--chrome", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert "xpu_compute" in names
+
+    def test_telemetry_left_disabled_after_run(self):
+        from repro import observability as obs
+
+        assert main(["metrics", "--set", "I"]) == 0
+        assert not obs.is_enabled()

@@ -11,7 +11,6 @@ from repro.tfhe import (
     modulus_switch,
     programmable_bootstrap,
 )
-from repro.tfhe.glwe import sample_extract
 from repro.tfhe.lwe import LweSecretKey, lwe_decrypt_phase, lwe_encrypt
 from repro.tfhe.torus import decode_message, encode_message
 

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro import TEST_PARAMS, get_params
-from repro.tfhe.budget import BootstrapPlan, BootstrapPlanner, LinearOp, NoiseBudget
+from repro import TEST_PARAMS
+from repro.tfhe.budget import BootstrapPlanner, LinearOp, NoiseBudget
 from repro.tfhe.multilut import (
     make_multi_test_polynomial,
     max_luts_for_params,

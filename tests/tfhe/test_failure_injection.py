@@ -11,7 +11,6 @@ import pytest
 
 from repro import TEST_PARAMS, TfheContext
 from repro.tfhe import (
-    generate_keyset,
     identity_test_polynomial,
     programmable_bootstrap,
 )

@@ -17,7 +17,7 @@ from repro.tfhe.glwe import (
 )
 from repro.tfhe.lwe import LweSecretKey, lwe_decrypt_phase
 from repro.tfhe.polynomial import monomial_mul
-from repro.tfhe.torus import encode_message, to_torus
+from repro.tfhe.torus import encode_message
 
 K, N = 2, 64
 NOISE = -26.0

@@ -1,6 +1,5 @@
 """Tests for noise variance prediction vs measurement."""
 
-import numpy as np
 import pytest
 
 from repro import TEST_PARAMS, get_params

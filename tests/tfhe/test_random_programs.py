@@ -8,7 +8,6 @@ comparisons through the full scheme.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
