@@ -11,6 +11,10 @@ Commands
                  a Perfetto/chrome://tracing trace-event file)
 ``metrics``      run one telemetry-enabled bootstrap group and print the
                  metrics snapshot (Prometheus text or ``--json``)
+``verify``       statically verify compiled instruction streams for the
+                 shipped configurations (``--strict`` fails on errors),
+                 or lint source trees for torus-discipline violations
+                 (``--lint PATH``)
 """
 
 from __future__ import annotations
@@ -91,6 +95,25 @@ def build_parser() -> argparse.ArgumentParser:
     met.add_argument("--chrome", metavar="PATH", default=None,
                      help="write the recorded spans as a Chrome/Perfetto "
                           "trace-event JSON file")
+
+    ver = sub.add_parser(
+        "verify",
+        help="static program verifier + domain linter (repro.verify)",
+    )
+    ver.add_argument("--strict", action="store_true",
+                     help="exit non-zero when any error-severity finding "
+                          "is reported (the CI gate)")
+    ver.add_argument("--lint", metavar="PATH", nargs="+", default=None,
+                     help="run the AST domain linter over these "
+                          "files/directories instead of verifying "
+                          "compiled programs")
+    ver.add_argument("--target", default=None,
+                     help="only verify shipped targets whose name "
+                          "contains this substring (e.g. 'xgboost')")
+    ver.add_argument("--list-rules", action="store_true",
+                     help="print the verifier pass and lint rule catalog")
+    ver.add_argument("--json", action="store_true",
+                     help="emit the reports as JSON")
     return parser
 
 
@@ -275,6 +298,18 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from .verify.cli import run
+
+    return run(
+        lint=args.lint,
+        strict=args.strict,
+        as_json=args.json,
+        list_rules=args.list_rules,
+        target=args.target,
+    )
+
+
 def _config_from_args_for_trace(args) -> "MorphlingConfig":
     from .core.accelerator import MorphlingConfig
     from .core.reuse import ReuseType
@@ -295,6 +330,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
+    "verify": _cmd_verify,
 }
 
 

@@ -6,10 +6,14 @@ system would drive it:
 1. take a program (a :class:`~repro.apps.workload.Workload`, a
    :class:`~repro.tfhe.boolean.Circuit`, or raw layers);
 2. lower it with the SW-scheduler (optionally per client);
-3. serialize the instruction stream to the binary wire format (what the
+3. statically verify the stream with the :mod:`repro.verify` pass
+   pipeline (def-before-use, buffer capacity, engine compatibility,
+   hazard ordering, HBM transfer sanity) - on by default, disable with
+   ``verify=False``;
+4. serialize the instruction stream to the binary wire format (what the
    host would ship to the accelerator);
-4. execute on the HW-scheduler timing model;
-5. return a :class:`CompilationReport` with the program, the binary
+5. execute on the HW-scheduler timing model;
+6. return a :class:`CompilationReport` with the program, the binary
    size, the makespan, utilizations, and the achieved bootstrap rate.
 """
 
@@ -67,23 +71,34 @@ def _to_layers(program):
 
 
 def compile_program(
-    program, config: MorphlingConfig, params: TFHEParams
+    program, config: MorphlingConfig, params: TFHEParams, verify: bool = True
 ) -> tuple:
-    """Lower a program; returns ``(name, stream, binary)``."""
+    """Lower a program; returns ``(name, stream, binary)``.
+
+    With ``verify`` (the default) the compiled stream must pass the
+    static program verifier; an ill-formed program raises
+    :class:`repro.verify.VerificationError` instead of reaching the
+    timing model with silently-wrong results.
+    """
     name, layers = _to_layers(program)
     stream = SwScheduler(config, params).schedule(layers)
+    if verify:
+        from ..verify import verify_or_raise
+
+        verify_or_raise(stream, config=config, params=params, subject=name)
     return name, stream, encode_stream(stream)
 
 
 def compile_and_run(
-    program, config: MorphlingConfig = None, params: TFHEParams = None
+    program, config: MorphlingConfig = None, params: TFHEParams = None,
+    verify: bool = True,
 ) -> CompilationReport:
-    """Full pipeline: lower, serialize, execute, report."""
+    """Full pipeline: lower, verify, serialize, execute, report."""
     from ..params import get_params
 
     config = config or MorphlingConfig()
     params = params or get_params("III")
-    name, stream, binary = compile_program(program, config, params)
+    name, stream, binary = compile_program(program, config, params, verify=verify)
     result: ScheduleResult = HwScheduler(config, params).execute(stream)
     bootstraps = sum(i.count for i in stream if i.op is XpuOp.BLIND_ROTATE)
     rate = bootstraps / result.total_seconds if result.total_seconds else 0.0

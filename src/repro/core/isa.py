@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
 
 __all__ = [
     "Engine",
@@ -20,6 +21,8 @@ __all__ = [
     "DmaOp",
     "Instruction",
     "InstructionStream",
+    "engine_of",
+    "OP_ENGINES",
 ]
 
 
@@ -48,11 +51,19 @@ class DmaOp(enum.Enum):
     STORE_LWE = "store_lwe"
 
 
-_OP_ENGINES = {
+#: Opcode -> engine table (the decoder's dispatch map).  Read-only from
+#: the outside; use :func:`engine_of` for lookups that may fail.
+OP_ENGINES = {
     **{op: Engine.XPU for op in XpuOp},
     **{op: Engine.VPU for op in VpuOp},
     **{op: Engine.DMA for op in DmaOp},
 }
+_OP_ENGINES = OP_ENGINES  # backwards-compatible private alias
+
+
+def engine_of(op: object) -> Optional[Engine]:
+    """Engine an opcode dispatches to, or ``None`` for unknown opcodes."""
+    return OP_ENGINES.get(op)
 
 
 @dataclass(frozen=True)
@@ -70,14 +81,14 @@ class Instruction:
     count: int = 0
     data_bytes: int = 0
     macs: int = 0
-    depends_on: tuple = ()
+    depends_on: Tuple[int, ...] = ()
 
     @property
     def engine(self) -> Engine:
-        return _OP_ENGINES[self.op]
+        return OP_ENGINES[self.op]
 
     def __post_init__(self) -> None:
-        if self.op not in _OP_ENGINES:
+        if self.op not in OP_ENGINES:
             raise ValueError(f"unknown opcode: {self.op!r}")
         if self.count < 0 or self.data_bytes < 0 or self.macs < 0:
             raise ValueError("instruction sizes must be non-negative")
@@ -86,12 +97,18 @@ class Instruction:
 class InstructionStream:
     """An append-only, dependency-checked instruction list."""
 
-    def __init__(self):
-        self._instructions = []
+    def __init__(self) -> None:
+        self._instructions: List[Instruction] = []
         self._ids = itertools.count()
-        self._known_ids = set()
+        self._known_ids: Set[int] = set()
 
-    def emit(self, op, group: int, depends_on=(), **sizes) -> Instruction:
+    def emit(
+        self,
+        op: object,
+        group: int,
+        depends_on: Iterable[int] = (),
+        **sizes: int,
+    ) -> Instruction:
         """Append an instruction; dependencies must already exist."""
         deps = tuple(depends_on)
         for d in deps:
@@ -102,21 +119,21 @@ class InstructionStream:
         self._known_ids.add(inst.inst_id)
         return inst
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Instruction]:
         return iter(self._instructions)
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self._instructions)
 
-    def by_engine(self, engine: Engine) -> list:
+    def by_engine(self, engine: Engine) -> List[Instruction]:
         return [i for i in self._instructions if i.engine is engine]
 
-    def groups(self) -> list:
+    def groups(self) -> List[int]:
         return sorted({i.group for i in self._instructions})
 
     def validate_dependencies(self) -> None:
         """Check the stream is a DAG in emission order (deps point backwards)."""
-        seen = set()
+        seen: Set[int] = set()
         for inst in self._instructions:
             for d in inst.depends_on:
                 if d not in seen:

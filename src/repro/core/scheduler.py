@@ -253,14 +253,23 @@ class HwScheduler:
         return inst.engine.value
 
     def execute(
-        self, stream: InstructionStream, record_spans: bool = False
+        self, stream: InstructionStream, record_spans: bool = False,
+        verify: bool = False,
     ) -> ScheduleResult:
         """Run the stream to completion; returns makespan and busy times.
 
         With ``record_spans`` the result carries per-instruction
         ``(engine, op, group, start, end)`` tuples for Gantt rendering
-        (:func:`render_schedule`).
+        (:func:`render_schedule`).  With ``verify`` the stream must
+        first pass the static program verifier (raises
+        :class:`repro.verify.VerificationError` otherwise); the compile
+        facade verifies by default, so this is off here to avoid
+        re-checking the same stream.
         """
+        if verify:
+            from ..verify import verify_or_raise
+
+            verify_or_raise(stream, config=self.config, params=self.params)
         ready = {"xpu": 0.0, "dma_xpu": 0.0, "dma_vpu": 0.0}
         ready.update({f"vpu{g}": 0.0 for g in range(self.config.vpu_lane_groups)})
         busy = dict.fromkeys(ready, 0.0)
@@ -341,8 +350,9 @@ def render_schedule(result: ScheduleResult, width: int = 72) -> str:
 
 
 def run_workload(
-    config: MorphlingConfig, params: TFHEParams, layers: list
+    config: MorphlingConfig, params: TFHEParams, layers: list,
+    verify: bool = True,
 ) -> ScheduleResult:
-    """Schedule and execute an application workload end to end."""
+    """Schedule, statically verify, and execute a workload end to end."""
     stream = SwScheduler(config, params).schedule(layers)
-    return HwScheduler(config, params).execute(stream)
+    return HwScheduler(config, params).execute(stream, verify=verify)

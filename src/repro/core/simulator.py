@@ -117,6 +117,40 @@ class MorphlingSimulator:
         self.hbm = HbmModel(config)
 
     # ------------------------------------------------------------------
+    def verify(self):
+        """Statically verify the canonical steady-state group program.
+
+        Lowers one full scheduler group (the exact program whose timing
+        :meth:`run` models) and runs the :mod:`repro.verify` pass
+        pipeline over it, so a (config, params) pair that would compile
+        to an ill-formed stream is caught before its throughput numbers
+        are trusted.  Returns the :class:`repro.verify.VerifyReport`.
+        """
+        from ..verify import verify_stream
+        from .buffers import acc_stream_capacity
+        from .scheduler import LayerDemand, SwScheduler
+
+        scheduler = SwScheduler(self.config, self.params)
+        streams = max(1, acc_stream_capacity(self.config, self.params))
+        group = streams * self.config.bootstrap_cores
+        stream = scheduler.schedule([LayerDemand("steady-state-group", group)])
+        return verify_stream(
+            stream, config=self.config, params=self.params,
+            subject=f"{self.config.name}@{self.params.name}",
+        )
+
+    def run(self, verify: bool = False) -> "SimulationReport":
+        """Simulate; with ``verify`` the canonical group program must be
+        statically clean first (raises ``VerificationError``)."""
+        if verify:
+            from ..verify import VerificationError
+
+            report = self.verify()
+            if not report.ok:
+                raise VerificationError(report)
+        return self._run()
+
+    # ------------------------------------------------------------------
     def _streams_and_stall(self) -> tuple:
         """Resident streams and the stall factor when not even one fits."""
         cfg, p = self.config, self.params
@@ -129,7 +163,7 @@ class MorphlingSimulator:
         # time inflates by the residency shortfall.
         return 1, 1.0 / max(fraction, 1e-6)
 
-    def run(self) -> SimulationReport:
+    def _run(self) -> SimulationReport:
         cfg, p = self.config, self.params
         clock_hz = cfg.clock_ghz * 1e9
 
@@ -208,6 +242,8 @@ class MorphlingSimulator:
         )
 
 
-def simulate_bootstrap(config: MorphlingConfig, params: TFHEParams) -> SimulationReport:
+def simulate_bootstrap(
+    config: MorphlingConfig, params: TFHEParams, verify: bool = False
+) -> SimulationReport:
     """Convenience wrapper: simulate one (config, params) pair."""
-    return MorphlingSimulator(config, params).run()
+    return MorphlingSimulator(config, params).run(verify=verify)

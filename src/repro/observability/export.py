@@ -25,6 +25,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import json
+from typing import Any, Dict, Iterable, List, Optional
 
 __all__ = [
     "to_jsonable",
@@ -39,7 +40,7 @@ __all__ = [
 # ---------------------------------------------------------------------------
 # JSON serialization (shared by CLI --json and the snapshot exporter)
 # ---------------------------------------------------------------------------
-def to_jsonable(obj):
+def to_jsonable(obj: Any) -> Any:
     """Recursively convert ``obj`` into JSON-serializable plain types."""
     if obj is None or isinstance(obj, (bool, int, str)):
         return obj
@@ -66,7 +67,7 @@ def to_jsonable(obj):
     return str(obj)
 
 
-def _key(k) -> str:
+def _key(k: Any) -> str:
     if isinstance(k, enum.Enum):
         return str(k.value)
     return str(k)
@@ -75,7 +76,7 @@ def _key(k) -> str:
 # ---------------------------------------------------------------------------
 # Prometheus text exposition
 # ---------------------------------------------------------------------------
-def _format_labels(labels: dict, extra: dict = None) -> str:
+def _format_labels(labels: dict, extra: Optional[dict] = None) -> str:
     merged = dict(labels)
     if extra:
         merged.update(extra)
@@ -93,7 +94,7 @@ def _format_value(value: float) -> str:
 
 def render_prometheus(snapshot: dict) -> str:
     """Render a :meth:`MetricsRegistry.snapshot` in text exposition format."""
-    lines = []
+    lines: List[str] = []
     for name, metric in snapshot.items():
         if metric["help"]:
             lines.append(f"# HELP {name} {metric['help']}")
@@ -125,11 +126,11 @@ def render_prometheus(snapshot: dict) -> str:
 _PID = 0  # single logical process; tracks map to tids
 
 
-def _track_ids(tracks) -> dict:
+def _track_ids(tracks: Iterable[str]) -> Dict[str, int]:
     return {track: tid for tid, track in enumerate(sorted(tracks))}
 
 
-def _thread_metadata(track_ids: dict) -> list:
+def _thread_metadata(track_ids: Dict[str, int]) -> List[dict]:
     return [
         {
             "ph": "M",
@@ -142,7 +143,7 @@ def _thread_metadata(track_ids: dict) -> list:
     ]
 
 
-def chrome_trace_events(spans) -> list:
+def chrome_trace_events(spans: Iterable[Any]) -> List[dict]:
     """Convert tracer :class:`~repro.observability.tracer.Span` objects.
 
     Produces ``ph: "X"`` (complete) events preceded by thread-name
@@ -167,7 +168,7 @@ def chrome_trace_events(spans) -> list:
     return events
 
 
-def pipeline_trace_events(trace, clock_ghz: float = None) -> list:
+def pipeline_trace_events(trace: Any, clock_ghz: Optional[float] = None) -> List[dict]:
     """Render a :class:`~repro.core.trace.PipelineTrace` as trace events.
 
     Stage spans are in cycles; ``clock_ghz`` (defaulting to the traced
@@ -196,7 +197,7 @@ def pipeline_trace_events(trace, clock_ghz: float = None) -> list:
     return events
 
 
-def schedule_trace_events(result) -> list:
+def schedule_trace_events(result: Any) -> List[dict]:
     """Render a scheduler :class:`ScheduleResult` (``record_spans=True``).
 
     Each engine becomes a row; each instruction a complete event with its
@@ -222,9 +223,10 @@ def schedule_trace_events(result) -> list:
     return events
 
 
-def write_chrome_trace(path, events, metadata: dict = None) -> None:
+def write_chrome_trace(path: str, events: Iterable[dict],
+                       metadata: Optional[dict] = None) -> None:
     """Write trace events as a JSON object file Perfetto can open."""
-    document = {"traceEvents": list(events), "displayTimeUnit": "ms"}
+    document: Dict[str, Any] = {"traceEvents": list(events), "displayTimeUnit": "ms"}
     if metadata:
         document["otherData"] = to_jsonable(metadata)
     with open(path, "w") as fh:

@@ -24,6 +24,7 @@ Design points:
 from __future__ import annotations
 
 import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Type
 
 __all__ = [
     "Counter",
@@ -38,7 +39,7 @@ __all__ = [
 DEFAULT_BUCKETS = tuple(float(4**e) for e in range(1, 16))
 
 
-def _label_key(labels: dict) -> tuple:
+def _label_key(labels: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
     """Canonical hashable key for a label set."""
     return tuple(sorted(labels.items()))
 
@@ -53,13 +54,13 @@ class _Metric:
         self.name = name
         self.help = help
         self._lock = threading.Lock()
-        self._series: dict = {}
+        self._series: Dict[tuple, Any] = {}
 
     # -- subclass hooks -------------------------------------------------
-    def _zero(self):
+    def _zero(self) -> Any:
         return 0.0
 
-    def _series_snapshot(self, value) -> dict:
+    def _series_snapshot(self, value: Any) -> dict:
         return {"value": value}
 
     # -- shared API -----------------------------------------------------
@@ -76,7 +77,7 @@ class _Metric:
             ]
         return {"type": self.kind, "help": self.help, "values": values}
 
-    def value(self, **labels):
+    def value(self, **labels: Any) -> Any:
         """Current value for one label set (None if never updated)."""
         with self._lock:
             return self._series.get(_label_key(labels))
@@ -87,7 +88,7 @@ class Counter(_Metric):
 
     kind = "counter"
 
-    def inc(self, amount: float = 1.0, **labels) -> None:
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
         if not self.registry.enabled:
             return
         if amount < 0:
@@ -102,21 +103,21 @@ class Gauge(_Metric):
 
     kind = "gauge"
 
-    def set(self, value: float, **labels) -> None:
+    def set(self, value: float, **labels: Any) -> None:
         if not self.registry.enabled:
             return
         key = _label_key(labels)
         with self._lock:
             self._series[key] = float(value)
 
-    def inc(self, amount: float = 1.0, **labels) -> None:
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
         if not self.registry.enabled:
             return
         key = _label_key(labels)
         with self._lock:
             self._series[key] = self._series.get(key, 0.0) + amount
 
-    def dec(self, amount: float = 1.0, **labels) -> None:
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
         self.inc(-amount, **labels)
 
 
@@ -125,7 +126,8 @@ class Histogram(_Metric):
 
     kind = "histogram"
 
-    def __init__(self, registry, name, help="", buckets=DEFAULT_BUCKETS):
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str = "",
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
         super().__init__(registry, name, help)
         self.buckets = tuple(sorted(float(b) for b in buckets))
         if not self.buckets:
@@ -140,7 +142,7 @@ class Histogram(_Metric):
             cumulative[bound] = running
         return {"count": count, "sum": total, "buckets": cumulative}
 
-    def observe(self, value: float, count: int = 1, **labels) -> None:
+    def observe(self, value: float, count: int = 1, **labels: Any) -> None:
         """Record ``count`` observations of ``value`` (batch-friendly)."""
         if not self.registry.enabled:
             return
@@ -169,10 +171,11 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
         self._lock = threading.Lock()
-        self._metrics: dict = {}
+        self._metrics: Dict[str, _Metric] = {}
 
     # -- registration ---------------------------------------------------
-    def _register(self, cls, name, help, **kwargs):
+    def _register(self, cls: Type[_Metric], name: str, help: str,
+                  **kwargs: Any) -> Any:
         with self._lock:
             existing = self._metrics.get(name)
             if existing is not None:
@@ -192,7 +195,7 @@ class MetricsRegistry:
         return self._register(Gauge, name, help)
 
     def histogram(self, name: str, help: str = "",
-                  buckets=DEFAULT_BUCKETS) -> Histogram:
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
         return self._register(Histogram, name, help, buckets=buckets)
 
     # -- lifecycle ------------------------------------------------------
@@ -210,11 +213,11 @@ class MetricsRegistry:
             metric.reset()
 
     # -- reads ----------------------------------------------------------
-    def get(self, name: str):
+    def get(self, name: str) -> Optional[_Metric]:
         with self._lock:
             return self._metrics.get(name)
 
-    def names(self) -> list:
+    def names(self) -> List[str]:
         with self._lock:
             return sorted(self._metrics)
 

@@ -28,6 +28,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional
 
 __all__ = ["Span", "Tracer", "traced"]
 
@@ -59,7 +60,7 @@ class Tracer:
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
         self._lock = threading.Lock()
-        self._spans: list = []
+        self._spans: List[Span] = []
         self._epoch = time.perf_counter()
 
     # -- lifecycle ------------------------------------------------------
@@ -76,7 +77,8 @@ class Tracer:
 
     # -- recording ------------------------------------------------------
     @contextmanager
-    def span(self, name: str, category: str = "", track: str = "main", **args):
+    def span(self, name: str, category: str = "", track: str = "main",
+             **args: Any) -> Iterator[Optional["Tracer"]]:
         """Context manager timing a wall-clock span (no-op when disabled)."""
         if not self.enabled:
             yield None
@@ -102,7 +104,7 @@ class Tracer:
         dur_us: float,
         category: str = "",
         track: str = "sim",
-        args: dict = None,
+        args: Optional[dict] = None,
     ) -> None:
         """Record a span with explicit timestamps (simulated-time friendly)."""
         if not self.enabled:
@@ -113,7 +115,7 @@ class Tracer:
             self._spans.append(span)
 
     # -- reads ----------------------------------------------------------
-    def spans(self) -> list:
+    def spans(self) -> List[Span]:
         """Copy of all recorded spans, in recording order."""
         with self._lock:
             return list(self._spans)
@@ -123,19 +125,19 @@ class Tracer:
             return len(self._spans)
 
 
-def traced(name: str = None, category: str = "", track: str = "main",
-           tracer: Tracer = None):
+def traced(name: Optional[str] = None, category: str = "", track: str = "main",
+           tracer: Optional[Tracer] = None) -> Callable[[Callable], Callable]:
     """Decorator recording one span per call on the (global) tracer.
 
     ``@traced()`` uses the function's qualified name; pass ``name=`` to
     override and ``tracer=`` to target a non-global tracer (tests).
     """
 
-    def decorate(fn):
+    def decorate(fn: Callable) -> Callable:
         span_name = name or fn.__qualname__
 
         @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             active = tracer if tracer is not None else _global_tracer()
             if not active.enabled:
                 return fn(*args, **kwargs)

@@ -17,7 +17,14 @@ import numpy as np
 from .bootstrap import BootstrapTrace, programmable_bootstrap
 from .keys import KeySet
 from .lwe import LweCiphertext, LweSecretKey, gaussian_torus_noise
-from .torus import TORUS_DTYPE, decode_message, encode_message, to_torus
+from .torus import (
+    TORUS_DTYPE,
+    decode_message,
+    encode_message,
+    to_torus,
+    torus_dot,
+    torus_scalar_mul,
+)
 
 __all__ = ["LweBatch", "encrypt_batch", "decrypt_batch", "bootstrap_batch"]
 
@@ -86,10 +93,10 @@ class LweBatch:
             s = np.full(self.size, int(s), dtype=np.int64)
         if s.shape != (self.size,):
             raise ValueError("need one scalar per ciphertext")
-        su = s.astype(np.uint64)
-        a = ((self.a.astype(np.uint64) * su[:, None]) & np.uint64(0xFFFFFFFF))
-        b = ((self.b.astype(np.uint64) * su) & np.uint64(0xFFFFFFFF))
-        return LweBatch(a.astype(TORUS_DTYPE), b.astype(TORUS_DTYPE))
+        return LweBatch(
+            torus_scalar_mul(s[:, None], self.a),
+            torus_scalar_mul(s, self.b),
+        )
 
     def add_plain(self, torus_values) -> "LweBatch":
         """Add plaintext torus numerators to the bodies."""
@@ -111,20 +118,14 @@ def encrypt_batch(
     size = msgs.shape[0]
     a = rng.integers(0, 1 << 32, size=(size, key.n), dtype=np.uint64).astype(TORUS_DTYPE)
     e = gaussian_torus_noise(rng, noise_log2, shape=(size,))
-    mask_dot = (
-        (a.astype(np.uint64) * key.bits.astype(np.uint64)[None, :]).sum(axis=1)
-        & np.uint64(0xFFFFFFFF)
-    ).astype(TORUS_DTYPE)
+    mask_dot = torus_dot(a, key.bits[None, :])
     b = mask_dot + encode_message(msgs, p) + e
     return LweBatch(a, b.astype(TORUS_DTYPE))
 
 
 def decrypt_batch(batch: LweBatch, p: int, key: LweSecretKey) -> np.ndarray:
     """Vectorized decryption back to ``Z_p``."""
-    mask_dot = (
-        (batch.a.astype(np.uint64) * key.bits.astype(np.uint64)[None, :]).sum(axis=1)
-        & np.uint64(0xFFFFFFFF)
-    ).astype(TORUS_DTYPE)
+    mask_dot = torus_dot(batch.a, key.bits[None, :])
     phases = (batch.b - mask_dot).astype(TORUS_DTYPE)
     return decode_message(phases, p)
 

@@ -78,6 +78,7 @@ class GgswCiphertext:
         buffer.
         """
         if self._spectrum is None:
+            # repro: allow[RPR002] declared FFT boundary: centered lift feeds the transform engine
             centered = self.rows.astype(np.int32).astype(np.float64)
             self._spectrum = negacyclic_fft(centered)
         return self._spectrum
@@ -139,6 +140,7 @@ def external_product_transform(ggsw: GgswCiphertext, glwe: GlweCiphertext) -> Gl
         raise ValueError("GGSW/GLWE dimensions do not match")
     digits = _decompose_glwe(glwe, ggsw.beta_bits, ggsw.l_b)
     k, l_b, n = ggsw.k, ggsw.l_b, ggsw.N
+    # repro: allow[RPR002] declared FFT boundary: decomposed digits are small signed ints
     digit_spec = negacyclic_fft(digits.astype(np.float64))  # (k+1, l_b, N/2)
     row_spec = ggsw.spectrum()  # ((k+1)*l_b, k+1, N/2)
     out = np.empty((k + 1, n), dtype=TORUS_DTYPE)

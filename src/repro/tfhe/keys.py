@@ -17,7 +17,7 @@ from ..params import TFHEParams
 from .ggsw import ggsw_encrypt
 from .glwe import GlweSecretKey, glwe_keygen
 from .lwe import LweSecretKey, gaussian_torus_noise, lwe_keygen
-from .torus import TORUS_DTYPE, to_torus
+from .torus import TORUS_DTYPE, to_torus, torus_dot
 
 __all__ = ["KeySwitchingKey", "KeySet", "generate_keyset", "make_ksk"]
 
@@ -69,10 +69,7 @@ def make_ksk(
     n = out_key.n
     masks = rng.integers(0, 1 << 32, size=(m, l_k, n), dtype=np.uint64).astype(TORUS_DTYPE)
     noise = gaussian_torus_noise(rng, noise_log2, shape=(m, l_k))
-    mask_dot = (
-        (masks.astype(np.uint64) * out_key.bits.astype(np.uint64)[None, None, :])
-        .sum(axis=-1) & np.uint64(0xFFFFFFFF)
-    ).astype(TORUS_DTYPE)
+    mask_dot = torus_dot(masks, out_key.bits[None, None, :])
     weights = np.array(
         [1 << (q_bits - beta_ks_bits * (j + 1)) for j in range(l_k)], dtype=np.int64
     )

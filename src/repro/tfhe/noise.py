@@ -18,6 +18,7 @@ import numpy as np
 from ..params import TFHEParams
 from .glwe import GlweCiphertext, GlweSecretKey, glwe_decrypt_phase
 from .lwe import LweCiphertext, LweSecretKey, lwe_decrypt_phase
+from .torus import to_signed, to_torus
 
 __all__ = [
     "external_product_noise_variance",
@@ -90,8 +91,7 @@ def _centered_torus_error(phase: np.ndarray, expected: np.ndarray) -> np.ndarray
     """Centered distance on the torus between observed and expected numerators."""
     diff = (np.asarray(phase, np.uint32).astype(np.int64)
             - np.asarray(expected, np.uint32).astype(np.int64))
-    diff = (diff + (1 << 31)) % (1 << 32) - (1 << 31)
-    return diff / _Q
+    return to_signed(to_torus(diff)) / _Q
 
 
 def measure_lwe_noise(ct: LweCiphertext, key: LweSecretKey, expected_torus: int) -> float:

@@ -137,6 +137,8 @@ def poly_mul(a_signed: np.ndarray, b_torus: np.ndarray, engine: str = "fft") -> 
         rows = [negacyclic_ntt_multiply(x, y) for x, y in zip(a_b, b_b)]
         return to_torus(np.stack(rows).reshape(broadcast))
     prod = negacyclic_ifft(
+        # repro: allow[RPR002] declared FFT boundary: the "fft" engine models the
+        # float datapath (rounding appears as additive noise, as in hardware)
         negacyclic_fft(a.astype(np.float64)) * negacyclic_fft(b.astype(np.float64)),
         a.shape[-1],
     )

@@ -32,6 +32,7 @@ __all__ = [
     "torus_sub",
     "torus_neg",
     "torus_scalar_mul",
+    "torus_dot",
     "modswitch",
 ]
 
@@ -122,6 +123,20 @@ def torus_scalar_mul(scalar, t) -> np.ndarray:
     s = np.asarray(scalar, dtype=np.int64).astype(np.uint64)
     t64 = np.asarray(t, TORUS_DTYPE).astype(np.uint64)
     return ((s * t64) & np.uint64(Q - 1)).astype(TORUS_DTYPE)
+
+
+def torus_dot(a, b, axis: int = -1) -> np.ndarray:
+    """Wrapping dot product of torus numerators along ``axis``.
+
+    Products and the accumulation wrap modulo ``2**64`` before the final
+    reduction into ``T_q`` - the mod-q MAC-tree arithmetic every LWE
+    phase computation uses.  Inputs broadcast like ``a * b``.
+    """
+    prod = (
+        np.asarray(a, TORUS_DTYPE).astype(np.uint64)
+        * np.asarray(b, TORUS_DTYPE).astype(np.uint64)
+    )
+    return (prod.sum(axis=axis) & np.uint64(Q - 1)).astype(TORUS_DTYPE)
 
 
 def modswitch(t, new_modulus: int, q_bits: int = Q_BITS) -> np.ndarray:

@@ -1,0 +1,58 @@
+"""Static program verifier + domain lint framework (``repro.verify``).
+
+Two heads, one diagnostic model:
+
+- the **program verifier** (:mod:`repro.verify.program`) statically
+  checks compiled :mod:`repro.core.isa` instruction streams before the
+  HW-scheduler timing model executes them - def-before-use operands,
+  buffer-capacity fits, opcode/engine compatibility, RAW/WAR stage
+  ordering, HBM transfer sanity (codes ``VER001``-``VER006``);
+- the **domain linter** (:mod:`repro.verify.lint` +
+  :mod:`repro.verify.rules`) enforces torus-arithmetic and
+  transform-usage discipline over the source tree with pluggable
+  AST rules (codes ``RPR001``-``RPR005``) and ruff-style inline
+  suppressions (``# repro: allow[RPR002] why``).
+
+Both run from the CLI (``repro verify``, ``repro verify --lint src``)
+and in CI with ``--strict``; the compiler runs the program verifier on
+every compile unless asked not to (``verify=False``).
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    RuleInfo,
+    Severity,
+    VerificationError,
+    VerifyReport,
+)
+from .lint import (
+    LINT_RULES,
+    lint_file,
+    lint_paths,
+    lint_rule_catalog,
+    lint_source,
+)
+from .program import (
+    PROGRAM_PASSES,
+    program_rule_catalog,
+    verify_or_raise,
+    verify_stream,
+)
+from . import rules as _rules  # noqa: F401  (registers the lint rules)
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "RuleInfo",
+    "VerifyReport",
+    "VerificationError",
+    "verify_stream",
+    "verify_or_raise",
+    "PROGRAM_PASSES",
+    "program_rule_catalog",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "lint_rule_catalog",
+    "LINT_RULES",
+]

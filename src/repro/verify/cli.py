@@ -1,0 +1,144 @@
+"""Driver behind ``repro verify``.
+
+Three modes, sharing one diagnostic pipeline:
+
+- default: compile every *shipped* configuration (each application
+  workload and each accelerator/parameter variant the experiments use)
+  and run the program verifier over the resulting instruction streams;
+- ``--lint PATH...``: run the AST domain linter over source trees
+  instead of compiled programs;
+- ``--list-rules``: print the combined rule catalog.
+
+``--strict`` turns error findings into a non-zero exit status - the CI
+correctness gate.  Warnings never fail the build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .diagnostics import VerifyReport
+from .lint import lint_paths, lint_rule_catalog
+from .program import program_rule_catalog, verify_stream
+
+__all__ = ["VerifyTarget", "shipped_targets", "verify_target", "run"]
+
+
+@dataclass(frozen=True)
+class VerifyTarget:
+    """One shipped (program, architecture, parameter-set) combination."""
+
+    name: str
+    make_layers: Callable[[], list]
+    config_name: str = "morphling"
+    param_set: str = "III"
+
+
+def _app_layers(factory: Callable[[], object]) -> Callable[[], list]:
+    return lambda: list(factory().layers)  # type: ignore[attr-defined]
+
+
+def shipped_targets() -> List[VerifyTarget]:
+    """Every configuration the experiments/apps ship with."""
+    from ..apps import (
+        database_query_workload,
+        deepcnn_workload,
+        genome_match_workload,
+        vgg9_workload,
+        xgboost_workload,
+    )
+
+    targets = [
+        VerifyTarget("xgboost@III", _app_layers(xgboost_workload)),
+        VerifyTarget("deepcnn-20@III", _app_layers(lambda: deepcnn_workload(20))),
+        VerifyTarget("deepcnn-50@III", _app_layers(lambda: deepcnn_workload(50))),
+        VerifyTarget("deepcnn-100@III", _app_layers(lambda: deepcnn_workload(100))),
+        VerifyTarget("vgg9@III", _app_layers(vgg9_workload)),
+        VerifyTarget("database-1k@III",
+                     _app_layers(lambda: database_query_workload(1024))),
+        VerifyTarget("genomics@III",
+                     _app_layers(lambda: genome_match_workload(1000, panel_size=4))),
+    ]
+    # The equal-resource ablation variants (Fig. 7-b) and every Table III
+    # parameter set, each driving one representative workload.
+    for config_name in ("no-reuse", "input-reuse"):
+        targets.append(VerifyTarget(
+            f"xgboost@{config_name}", _app_layers(xgboost_workload),
+            config_name=config_name,
+        ))
+    for param_set in ("I", "II", "IV"):
+        targets.append(VerifyTarget(
+            f"xgboost@{param_set}", _app_layers(xgboost_workload),
+            param_set=param_set,
+        ))
+    return targets
+
+
+def _make_config(name: str):
+    from ..core.accelerator import MorphlingConfig
+
+    return {
+        "morphling": MorphlingConfig.morphling,
+        "no-reuse": MorphlingConfig.no_reuse,
+        "input-reuse": MorphlingConfig.input_reuse,
+    }[name]()
+
+
+def verify_target(target: VerifyTarget) -> VerifyReport:
+    """Compile one shipped target and verify the instruction stream."""
+    from ..core.scheduler import SwScheduler
+    from ..params import get_params
+
+    config = _make_config(target.config_name)
+    params = get_params(target.param_set)
+    stream = SwScheduler(config, params).schedule(target.make_layers())
+    return verify_stream(stream, config=config, params=params,
+                         subject=target.name)
+
+
+def _render_catalog() -> str:
+    lines = ["Program verifier passes:"]
+    lines += [f"  {info}" for info in program_rule_catalog()]
+    lines.append("Domain lint rules:")
+    lines += [f"  {info}" for info in lint_rule_catalog()]
+    return "\n".join(lines)
+
+
+def run(
+    lint: Optional[List[str]] = None,
+    strict: bool = False,
+    as_json: bool = False,
+    list_rules: bool = False,
+    target: Optional[str] = None,
+    _print: Callable[[str], None] = print,
+) -> int:
+    """Execute the verify command; returns the process exit code."""
+    if list_rules:
+        _print(_render_catalog())
+        return 0
+    if lint:
+        reports = [lint_paths(lint)]
+    else:
+        targets = shipped_targets()
+        if target is not None:
+            targets = [t for t in targets if target in t.name]
+            if not targets:
+                _print(f"no shipped target matches {target!r}")
+                return 2
+        reports = [verify_target(t) for t in targets]
+    failed = sum(0 if r.ok else 1 for r in reports)
+    if as_json:
+        import json
+
+        _print(json.dumps(
+            {"ok": failed == 0,
+             "reports": [r.to_jsonable() for r in reports]},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for report in reports:
+            _print(report.render())
+    if strict and failed:
+        return 1
+    return 0

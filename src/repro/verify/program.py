@@ -1,0 +1,375 @@
+"""Head 1: static verifier for compiled ISA instruction streams.
+
+A pass pipeline over :class:`repro.core.isa.InstructionStream` (or any
+iterable of instruction-shaped objects, e.g. a decoded binary program)
+that runs before the HW-scheduler executes the stream.  Each pass owns a
+stable ``VERxxx`` code; a violation is reported with the instruction
+index, the source op, and a severity.  The pipeline is pure analysis -
+it never mutates the stream - so it is safe to run on every compile
+(:func:`repro.core.compiler.compile_program` does, unless told not to).
+
+Pass catalog
+------------
+``VER001``  operand def-before-use: every dependency id must name an
+            instruction already emitted (the in-order DMA/engine queues
+            cannot satisfy forward references)
+``VER002``  identity sanity: duplicate instruction ids, self- or
+            duplicate dependencies
+``VER003``  opcode/engine compatibility: unknown opcodes and payload
+            fields that do not belong on the op's engine
+``VER004``  buffer capacity: batch sizes that overflow the Private-A1
+            residency / Shared buffer implied by the configuration
+``VER005``  stage-order hazards: the per-group bootstrap chain must
+            respect MS -> BR -> SE -> KS -> STORE (RAW) and be emitted
+            in that order (the scheduler's in-order queue assumption)
+``VER006``  HBM transfer sanity: empty or word-misaligned DMA payloads,
+            LWE transfers inconsistent with their ciphertext count
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from ..core.isa import DmaOp, Engine, VpuOp, XpuOp, engine_of
+from .diagnostics import Diagnostic, RuleInfo, Severity, VerificationError, VerifyReport
+
+__all__ = [
+    "VerifyContext",
+    "ProgramPass",
+    "PROGRAM_PASSES",
+    "program_rule_catalog",
+    "verify_stream",
+    "verify_or_raise",
+]
+
+
+@dataclass
+class VerifyContext:
+    """Everything a pass may inspect.
+
+    ``config``/``params`` are optional: capacity and transfer-size
+    checks degrade gracefully (skip) when the architectural context is
+    unknown, so the verifier still works on bare decoded binaries.
+    """
+
+    instructions: List[object]
+    config: Optional[object] = None
+    params: Optional[object] = None
+    by_id: Dict[int, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.by_id:
+            self.by_id = {
+                getattr(i, "inst_id", idx): i
+                for idx, i in enumerate(self.instructions)
+            }
+
+
+PassFn = Callable[[VerifyContext], Iterator[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class ProgramPass:
+    """One verifier pass: metadata plus the check function."""
+
+    info: RuleInfo
+    run: PassFn
+
+    @property
+    def code(self) -> str:
+        return self.info.code
+
+
+PROGRAM_PASSES: List[ProgramPass] = []
+
+
+def _register(code: str, name: str, summary: str,
+              severity: Severity = Severity.ERROR) -> Callable[[PassFn], PassFn]:
+    def deco(fn: PassFn) -> PassFn:
+        PROGRAM_PASSES.append(
+            ProgramPass(RuleInfo(code, name, summary, severity), fn)
+        )
+        return fn
+    return deco
+
+
+def program_rule_catalog() -> List[RuleInfo]:
+    """Catalog of all registered verifier passes."""
+    return [p.info for p in PROGRAM_PASSES]
+
+
+def _diag(code: str, idx: int, inst: object, message: str,
+          severity: Severity = Severity.ERROR) -> Diagnostic:
+    op = getattr(inst, "op", None)
+    return Diagnostic(
+        code=code, severity=severity, message=message,
+        instruction_index=idx, op=getattr(op, "value", str(op)),
+    )
+
+
+# ----------------------------------------------------------------------
+# VER001 - def-before-use
+# ----------------------------------------------------------------------
+@_register("VER001", "def-before-use",
+           "dependencies must reference already-emitted instructions")
+def _check_def_before_use(ctx: VerifyContext) -> Iterator[Diagnostic]:
+    seen: set = set()
+    for idx, inst in enumerate(ctx.instructions):
+        for dep in getattr(inst, "depends_on", ()):
+            if dep not in seen:
+                kind = ("forward reference" if dep in ctx.by_id
+                        else "unknown instruction")
+                yield _diag(
+                    "VER001", idx, inst,
+                    f"dependency {dep} is a {kind}: operands must be "
+                    f"defined before use",
+                )
+        seen.add(getattr(inst, "inst_id", idx))
+
+
+# ----------------------------------------------------------------------
+# VER002 - identity sanity
+# ----------------------------------------------------------------------
+@_register("VER002", "identity-sanity",
+           "instruction ids must be unique; no self/duplicate dependencies")
+def _check_identity(ctx: VerifyContext) -> Iterator[Diagnostic]:
+    seen_ids: set = set()
+    for idx, inst in enumerate(ctx.instructions):
+        inst_id = getattr(inst, "inst_id", idx)
+        if inst_id in seen_ids:
+            yield _diag("VER002", idx, inst,
+                        f"duplicate instruction id {inst_id}")
+        seen_ids.add(inst_id)
+        deps = tuple(getattr(inst, "depends_on", ()))
+        if inst_id in deps:
+            yield _diag("VER002", idx, inst,
+                        f"instruction {inst_id} depends on itself")
+        if len(deps) != len(set(deps)):
+            yield _diag("VER002", idx, inst,
+                        f"instruction {inst_id} lists a dependency twice",
+                        Severity.WARNING)
+
+
+# ----------------------------------------------------------------------
+# VER003 - opcode/engine compatibility
+# ----------------------------------------------------------------------
+@_register("VER003", "opcode-engine-compatibility",
+           "payload fields must match the opcode's engine")
+def _check_opcode_engine(ctx: VerifyContext) -> Iterator[Diagnostic]:
+    for idx, inst in enumerate(ctx.instructions):
+        op = getattr(inst, "op", None)
+        engine = engine_of(op)
+        if engine is None:
+            yield _diag("VER003", idx, inst,
+                        f"unknown opcode {op!r}: no engine dispatches it")
+            continue
+        count = getattr(inst, "count", 0)
+        data_bytes = getattr(inst, "data_bytes", 0)
+        macs = getattr(inst, "macs", 0)
+        if engine is Engine.DMA:
+            if macs:
+                yield _diag("VER003", idx, inst,
+                            "DMA instructions carry data_bytes, not MACs")
+        elif op is VpuOp.P_ALU:
+            if not macs:
+                yield _diag("VER003", idx, inst,
+                            "P_ALU instruction with no MAC work")
+            if count:
+                yield _diag("VER003", idx, inst,
+                            "P_ALU covers MACs, not ciphertexts")
+        else:  # XPU blind-rotate or VPU bootstrap stages
+            if not count:
+                yield _diag("VER003", idx, inst,
+                            f"{engine.value.upper()} compute op covers "
+                            f"zero ciphertexts")
+            if data_bytes:
+                yield _diag("VER003", idx, inst,
+                            "compute ops do not carry DMA payloads")
+            if macs:
+                yield _diag("VER003", idx, inst,
+                            "bootstrap-stage ops do not carry MAC work")
+
+
+# ----------------------------------------------------------------------
+# VER004 - buffer capacity
+# ----------------------------------------------------------------------
+@_register("VER004", "buffer-capacity",
+           "batch sizes must fit the resident-stream capacity")
+def _check_capacity(ctx: VerifyContext) -> Iterator[Diagnostic]:
+    if ctx.config is None or ctx.params is None:
+        return
+    from ..core.buffers import acc_stream_capacity
+
+    streams = max(1, acc_stream_capacity(ctx.config, ctx.params))
+    capacity = streams * ctx.config.bootstrap_cores
+    batched = (XpuOp.BLIND_ROTATE, VpuOp.MODULUS_SWITCH,
+               VpuOp.SAMPLE_EXTRACT, VpuOp.KEY_SWITCH,
+               DmaOp.LOAD_LWE, DmaOp.STORE_LWE)
+    for idx, inst in enumerate(ctx.instructions):
+        if getattr(inst, "op", None) not in batched:
+            continue
+        count = getattr(inst, "count", 0)
+        if count > capacity:
+            yield _diag(
+                "VER004", idx, inst,
+                f"batch of {count} ciphertexts exceeds the scheduler "
+                f"group capacity of {capacity} ({streams} resident "
+                f"stream(s) x {ctx.config.bootstrap_cores} bootstrap "
+                f"cores): Private-A1/Shared residency would overflow",
+            )
+
+
+# ----------------------------------------------------------------------
+# VER005 - stage-order hazards
+# ----------------------------------------------------------------------
+_STAGE_ORDER = {
+    VpuOp.MODULUS_SWITCH: 0,
+    XpuOp.BLIND_ROTATE: 1,
+    VpuOp.SAMPLE_EXTRACT: 2,
+    VpuOp.KEY_SWITCH: 3,
+    DmaOp.STORE_LWE: 4,
+}
+#: op -> the upstream stage it must (transitively) consume (RAW edges).
+_RAW_PRODUCER = {
+    XpuOp.BLIND_ROTATE: VpuOp.MODULUS_SWITCH,
+    VpuOp.SAMPLE_EXTRACT: XpuOp.BLIND_ROTATE,
+    VpuOp.KEY_SWITCH: VpuOp.SAMPLE_EXTRACT,
+    DmaOp.STORE_LWE: VpuOp.KEY_SWITCH,
+}
+
+
+@_register("VER005", "stage-order-hazard",
+           "per-group bootstrap chains must order MS -> BR -> SE -> KS -> STORE")
+def _check_stage_order(ctx: VerifyContext) -> Iterator[Diagnostic]:
+    last_stage: Dict[int, int] = {}
+    for idx, inst in enumerate(ctx.instructions):
+        op = getattr(inst, "op", None)
+        stage = _STAGE_ORDER.get(op)
+        if stage is None:
+            continue
+        group = getattr(inst, "group", 0)
+        prev = last_stage.get(group)
+        if prev is not None and stage < prev:
+            yield _diag(
+                "VER005", idx, inst,
+                f"group {group} emits stage {op.value!r} after a later "
+                f"stage: the in-order engine queues would deadlock or "
+                f"reorder writes (WAR hazard)",
+            )
+        last_stage[group] = stage
+        producer = _RAW_PRODUCER.get(op)
+        if producer is None:
+            continue
+        feeds = False
+        for dep in getattr(inst, "depends_on", ()):
+            dep_inst = ctx.by_id.get(dep)
+            if dep_inst is None:
+                continue
+            if (getattr(dep_inst, "op", None) is producer
+                    and getattr(dep_inst, "group", None) == group):
+                feeds = True
+                break
+        if not feeds:
+            yield _diag(
+                "VER005", idx, inst,
+                f"{op.value!r} in group {group} does not depend on the "
+                f"group's {producer.value!r} result (RAW hazard: it "
+                f"would read stale buffer contents)",
+            )
+
+
+# ----------------------------------------------------------------------
+# VER006 - HBM transfer sanity
+# ----------------------------------------------------------------------
+@_register("VER006", "hbm-transfer-sanity",
+           "DMA payloads must be non-empty, word-aligned and count-consistent")
+def _check_transfers(ctx: VerifyContext) -> Iterator[Diagnostic]:
+    word = 4  # torus coefficients are 32-bit words on every channel
+    if ctx.params is not None:
+        word = ctx.params.coeff_bytes
+    for idx, inst in enumerate(ctx.instructions):
+        op = getattr(inst, "op", None)
+        if engine_of(op) is not Engine.DMA:
+            continue
+        data_bytes = getattr(inst, "data_bytes", 0)
+        if data_bytes <= 0:
+            yield _diag("VER006", idx, inst,
+                        "DMA transfer moves zero bytes")
+            continue
+        if data_bytes % word:
+            yield _diag(
+                "VER006", idx, inst,
+                f"transfer of {data_bytes} B is not a multiple of the "
+                f"{word} B coefficient word",
+            )
+        if ctx.params is None:
+            continue
+        if op in (DmaOp.LOAD_LWE, DmaOp.STORE_LWE):
+            count = getattr(inst, "count", 0)
+            expected = count * ctx.params.lwe_bytes
+            if count and data_bytes != expected:
+                yield _diag(
+                    "VER006", idx, inst,
+                    f"LWE transfer of {data_bytes} B does not match "
+                    f"{count} ciphertexts x {ctx.params.lwe_bytes} B "
+                    f"= {expected} B",
+                )
+        elif op is DmaOp.LOAD_BSK:
+            if data_bytes not in (ctx.params.bsk_transform_bytes,
+                                  ctx.params.bsk_bytes):
+                yield _diag(
+                    "VER006", idx, inst,
+                    f"BSK transfer of {data_bytes} B matches neither the "
+                    f"transform-domain ({ctx.params.bsk_transform_bytes} B) "
+                    f"nor the coefficient-domain ({ctx.params.bsk_bytes} B) "
+                    f"key footprint",
+                    Severity.WARNING,
+                )
+        elif op is DmaOp.LOAD_KSK:
+            if data_bytes != ctx.params.ksk_bytes:
+                yield _diag(
+                    "VER006", idx, inst,
+                    f"KSK transfer of {data_bytes} B does not match the "
+                    f"key footprint of {ctx.params.ksk_bytes} B",
+                    Severity.WARNING,
+                )
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def verify_stream(
+    stream: Iterable[object],
+    config: Optional[object] = None,
+    params: Optional[object] = None,
+    passes: Optional[Iterable[str]] = None,
+    subject: str = "<stream>",
+) -> VerifyReport:
+    """Run the pass pipeline over ``stream`` and collect diagnostics.
+
+    ``passes`` optionally restricts the run to a subset of ``VERxxx``
+    codes.  The stream may be an :class:`InstructionStream`, a decoded
+    binary program, or any list of instruction-shaped objects.
+    """
+    ctx = VerifyContext(list(stream), config=config, params=params)
+    report = VerifyReport(subject=subject)
+    wanted = set(passes) if passes is not None else None
+    for p in PROGRAM_PASSES:
+        if wanted is not None and p.code not in wanted:
+            continue
+        report.extend(p.run(ctx))
+    return report
+
+
+def verify_or_raise(
+    stream: Iterable[object],
+    config: Optional[object] = None,
+    params: Optional[object] = None,
+    subject: str = "<stream>",
+) -> VerifyReport:
+    """Verify and raise :class:`VerificationError` on any error finding."""
+    report = verify_stream(stream, config=config, params=params, subject=subject)
+    if not report.ok:
+        raise VerificationError(report)
+    return report

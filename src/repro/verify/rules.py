@@ -1,0 +1,190 @@
+"""Lint rule catalog: torus-discipline and transform-usage rules.
+
+Every rule flags a construct that historically breaks TFHE fixed-point
+reproductions (FPT and MATCHA both call this class of bug out): torus
+numerators silently leaving exact mod-2^32 arithmetic, precision-losing
+dtypes, or transform code bypassing the instrumented, tested wrappers in
+:mod:`repro.transforms`.
+
+Scopes
+------
+``RPR001``/``RPR002`` apply to ``repro/tfhe`` outside ``torus.py`` (the
+one module allowed to spell out raw reductions - it *defines* the
+discipline).  ``RPR003`` applies to all tfhe modules.  ``RPR004``
+applies everywhere except ``repro/transforms`` (which implements its own
+FFT precisely so nothing else imports ``numpy.fft``).  ``RPR005``
+applies package-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from .diagnostics import Severity
+from .lint import ModuleScope, lint_rule
+
+__all__ = ["NARROW_DTYPES", "FLOAT_DTYPES", "LEGACY_RNG_FUNCS"]
+
+_NUMPY_NAMES = ("np", "numpy")
+
+FLOAT_DTYPES = ("float64", "float32", "float16")
+NARROW_DTYPES = ("float32", "float16", "int8", "uint8", "int16", "uint16")
+LEGACY_RNG_FUNCS = (
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "choice", "shuffle", "permutation", "normal", "uniform",
+    "binomial", "poisson", "exponential",
+)
+
+_Q = 1 << 32
+_MASK = _Q - 1
+
+
+def _is_numpy(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id in _NUMPY_NAMES
+
+
+def _numpy_attr(node: ast.AST) -> str:
+    """``'x'`` when ``node`` is ``np.x``/``numpy.x``, else ``''``."""
+    if isinstance(node, ast.Attribute) and _is_numpy(node.value):
+        return node.attr
+    return ""
+
+
+def _const_value(node: ast.AST):
+    """Fold the handful of constant spellings of q/masks: ``2**32``,
+    ``1 << 32``, ``0x100000000``, ``0xFFFFFFFF``, optionally wrapped in a
+    ``np.uint32``/``np.uint64`` cast."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if isinstance(node, ast.BinOp):
+        left = _const_value(node.left)
+        right = _const_value(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.LShift):
+            return left << right
+        if isinstance(node.op, ast.Pow):
+            return left ** right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        return None
+    if (isinstance(node, ast.Call) and not node.keywords
+            and len(node.args) == 1
+            and _numpy_attr(node.func) in ("uint32", "uint64", "int64")):
+        return _const_value(node.args[0])
+    return None
+
+
+# ----------------------------------------------------------------------
+# RPR001 - raw mod-2^32 reduction outside repro.tfhe.torus
+# ----------------------------------------------------------------------
+@lint_rule(
+    "RPR001", "raw-torus-reduction",
+    "raw `% 2**32` / `& 0xFFFFFFFF` outside repro.tfhe.torus; use "
+    "to_torus/torus_dot so the reduction convention stays centralized",
+    applies=lambda s: s.in_tfhe and not s.is_torus,
+)
+def _raw_reduction(tree: ast.AST) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.BinOp):
+            continue
+        if isinstance(node.op, ast.Mod) and _const_value(node.right) == _Q:
+            yield (node.lineno,
+                   "raw modulo-2**32 reduction; use repro.tfhe.torus.to_torus")
+        elif isinstance(node.op, ast.BitAnd) and _MASK in (
+                _const_value(node.left), _const_value(node.right)):
+            yield (node.lineno,
+                   "raw & 0xFFFFFFFF mask; use repro.tfhe.torus helpers "
+                   "(to_torus / torus_dot / torus_scalar_mul)")
+
+
+# ----------------------------------------------------------------------
+# RPR002 - float conversion of torus data outside repro.tfhe.torus
+# ----------------------------------------------------------------------
+@lint_rule(
+    "RPR002", "float-escape",
+    ".astype(float) on torus arrays outside repro.tfhe.torus; floats "
+    "lose the exact mod-2**32 discipline - use to_double or justify the "
+    "transform boundary with a suppression",
+    applies=lambda s: s.in_tfhe and not s.is_torus,
+)
+def _float_escape(tree: ast.AST) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and node.args):
+            continue
+        arg = node.args[0]
+        is_float = (
+            (isinstance(arg, ast.Name) and arg.id == "float")
+            or _numpy_attr(arg) in FLOAT_DTYPES
+        )
+        if is_float:
+            yield (node.lineno,
+                   "float conversion of a torus-typed array; route through "
+                   "repro.tfhe.torus.to_double or suppress at a declared "
+                   "transform boundary")
+
+
+# ----------------------------------------------------------------------
+# RPR003 - precision-losing dtype literal in tfhe modules
+# ----------------------------------------------------------------------
+@lint_rule(
+    "RPR003", "narrow-dtype",
+    "narrow dtype literal (float32/float16/int8/...) in a tfhe module; "
+    "torus numerators need full uint32/uint64 (or int64 intermediary) width",
+    applies=lambda s: s.in_tfhe,
+)
+def _narrow_dtype(tree: ast.AST) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(tree):
+        attr = _numpy_attr(node)
+        if attr in NARROW_DTYPES:
+            yield (node.lineno,
+                   f"np.{attr} cannot hold 32-bit torus numerators exactly")
+
+
+# ----------------------------------------------------------------------
+# RPR004 - numpy.fft bypassing repro.transforms
+# ----------------------------------------------------------------------
+@lint_rule(
+    "RPR004", "direct-numpy-fft",
+    "direct numpy.fft usage outside repro.transforms; use the "
+    "negacyclic/merge-split wrappers so transform counts stay observable",
+    applies=lambda s: not s.in_transforms,
+)
+def _direct_fft(tree: ast.AST) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "numpy.fft" or module.startswith("numpy.fft."):
+                yield (node.lineno, "import from numpy.fft; use repro.transforms")
+            elif module == "numpy" and any(a.name == "fft" for a in node.names):
+                yield (node.lineno, "import of numpy's fft; use repro.transforms")
+        elif isinstance(node, ast.Attribute) and _numpy_attr(node.value) == "fft":
+            yield (node.lineno,
+                   f"np.fft.{node.attr} bypasses repro.transforms (the "
+                   f"instrumented negacyclic FFT)")
+
+
+# ----------------------------------------------------------------------
+# RPR005 - legacy global numpy RNG
+# ----------------------------------------------------------------------
+@lint_rule(
+    "RPR005", "global-rng",
+    "legacy np.random.* global-state call; experiments must stay "
+    "reproducible - thread a seeded np.random.Generator instead",
+    applies=lambda s: True,
+    severity=Severity.WARNING,
+)
+def _global_rng(tree: ast.AST) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in LEGACY_RNG_FUNCS
+                and _numpy_attr(node.func.value) == "random"):
+            continue
+        yield (node.lineno,
+               f"np.random.{node.func.attr}() draws from hidden global "
+               f"state; use np.random.default_rng(seed)")

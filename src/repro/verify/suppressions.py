@@ -1,0 +1,54 @@
+"""Inline suppression comments for the domain linter.
+
+A finding can be acknowledged in source with::
+
+    x = raw_thing()  # repro: allow[RPR001] reason the pattern is safe
+
+The marker suppresses the named code(s) on its own line.  A comment-only
+line suppresses the next code line instead, for statements too long to
+carry a trailing comment::
+
+    # repro: allow[RPR002] FFT boundary: floats leave the torus here
+    spectrum = negacyclic_fft(digits.astype(np.float64))
+
+Multiple codes separate with commas: ``# repro: allow[RPR001,RPR004]``.
+Suppressions are deliberately line-scoped - there is no file- or
+block-level escape hatch - so every exemption sits next to the code it
+excuses, with its one-line justification.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Set
+
+__all__ = ["SUPPRESS_RE", "collect_suppressions", "is_suppressed"]
+
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9_,\s]+)\]")
+
+
+def collect_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number (1-based) -> set of suppressed rule codes."""
+    suppressed: Dict[int, Set[str]] = {}
+    pending: Set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = SUPPRESS_RE.search(line)
+        codes = (
+            {c.strip() for c in match.group(1).split(",") if c.strip()}
+            if match else set()
+        )
+        stripped = line.strip()
+        if not stripped:
+            continue  # blank lines do not consume a pending suppression
+        if stripped.startswith("#"):
+            # Comment-only line: carry the suppression to the next code line.
+            pending |= codes
+            continue
+        if codes or pending:
+            suppressed.setdefault(lineno, set()).update(codes | pending)
+        pending = set()
+    return suppressed
+
+
+def is_suppressed(suppressed: Dict[int, Set[str]], lineno: int, code: str) -> bool:
+    return code in suppressed.get(lineno, ())

@@ -1,0 +1,65 @@
+"""The ``repro verify`` command: exit codes, filtering, JSON, lint mode."""
+
+import json
+
+from repro.cli import main
+
+
+def test_list_rules_prints_both_catalogs(capsys):
+    assert main(["verify", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "VER001" in out and "VER006" in out
+    assert "RPR001" in out and "RPR005" in out
+
+
+def test_single_target_verifies_clean(capsys):
+    assert main(["verify", "--strict", "--target", "xgboost@III"]) == 0
+    out = capsys.readouterr().out
+    assert "xgboost@III: clean" in out
+
+
+def test_unknown_target_is_usage_error(capsys):
+    assert main(["verify", "--target", "definitely-not-shipped"]) == 2
+
+
+def test_json_output_parses(capsys):
+    assert main(["verify", "--json", "--target", "xgboost@III"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["ok"] is True
+    assert document["reports"][0]["subject"] == "xgboost@III"
+
+
+def test_lint_clean_file(tmp_path, capsys):
+    clean = tmp_path / "tfhe" / "clean.py"
+    clean.parent.mkdir()
+    clean.write_text("from .torus import to_torus\n\nx = to_torus(1)\n")
+    assert main(["verify", "--strict", "--lint", str(tmp_path)]) == 0
+
+
+def test_lint_violation_fails_only_in_strict(tmp_path, capsys):
+    bad = tmp_path / "tfhe" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("x = acc & 0xFFFFFFFF\n")
+    assert main(["verify", "--lint", str(tmp_path)]) == 0  # report only
+    assert main(["verify", "--strict", "--lint", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR001" in out
+
+
+def test_lint_suppressed_violation_passes_strict(tmp_path):
+    excused = tmp_path / "tfhe" / "excused.py"
+    excused.parent.mkdir()
+    excused.write_text(
+        "x = acc & 0xFFFFFFFF  # repro: allow[RPR001] exactness shown in docs\n"
+    )
+    assert main(["verify", "--strict", "--lint", str(tmp_path)]) == 0
+
+
+def test_repo_sources_lint_clean():
+    """The shipped tree must stay lint-clean (same gate CI runs)."""
+    import os
+
+    import repro
+
+    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    assert main(["verify", "--strict", "--lint", package_dir]) == 0

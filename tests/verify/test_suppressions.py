@@ -1,0 +1,57 @@
+"""Inline suppression comments: parsing, scoping, and lint integration."""
+
+import textwrap
+
+from repro.verify import lint_source
+from repro.verify.suppressions import collect_suppressions, is_suppressed
+
+
+def test_trailing_comment_suppresses_own_line():
+    src = "x = acc & 0xFFFFFFFF  # repro: allow[RPR001] carry chain is exact\n"
+    supp = collect_suppressions(src)
+    assert is_suppressed(supp, 1, "RPR001")
+    assert not is_suppressed(supp, 1, "RPR002")
+    assert not is_suppressed(supp, 2, "RPR001")
+
+
+def test_comment_only_line_suppresses_next_code_line():
+    src = textwrap.dedent(
+        """\
+        # repro: allow[RPR002] FFT boundary
+        spectrum = fft(digits.astype(np.float64))
+        tail = digits.astype(np.float64)
+        """
+    )
+    supp = collect_suppressions(src)
+    assert is_suppressed(supp, 2, "RPR002")
+    assert not is_suppressed(supp, 3, "RPR002")  # one line only
+
+
+def test_blank_line_does_not_consume_pending_suppression():
+    src = "# repro: allow[RPR001] staged\n\nx = acc & 0xFFFFFFFF\n"
+    supp = collect_suppressions(src)
+    assert is_suppressed(supp, 3, "RPR001")
+
+
+def test_multiple_codes_in_one_marker():
+    src = "x = thing()  # repro: allow[RPR001, RPR004] both justified\n"
+    supp = collect_suppressions(src)
+    assert is_suppressed(supp, 1, "RPR001")
+    assert is_suppressed(supp, 1, "RPR004")
+
+
+def test_lint_respects_suppression():
+    path = "src/repro/tfhe/lwe.py"
+    bare = "x = acc & 0xFFFFFFFF\n"
+    assert not lint_source(bare, path=path, rules=["RPR001"]).ok
+    excused = "x = acc & 0xFFFFFFFF  # repro: allow[RPR001] proven exact\n"
+    assert lint_source(excused, path=path, rules=["RPR001"]).diagnostics == []
+
+
+def test_suppression_is_code_specific():
+    path = "src/repro/tfhe/lwe.py"
+    # RPR001 suppressed, but the RPR002 finding on the same line survives.
+    src = ("y = (acc & 0xFFFFFFFF).astype(np.float64)"
+           "  # repro: allow[RPR001] mask is exact here\n")
+    report = lint_source(src, path=path)
+    assert report.codes() == {"RPR002"}
