@@ -20,10 +20,12 @@ via pytest.
 """
 
 import time
+import tracemalloc
 
 import numpy as np
 
 from repro import TEST_PARAMS, observability as obs
+from repro.observability.counters import PerfCounters
 from repro.observability.registry import MetricsRegistry
 from repro.observability.tracer import Tracer
 from repro.tfhe import TfheContext
@@ -60,19 +62,37 @@ class _ProbeTracer(Tracer):
         pass
 
 
+class _ProbeCounters(PerfCounters):
+    """Perf-counter bank whose ``enabled`` read is counted (always False)."""
+
+    checks = 0
+
+    @property
+    def enabled(self):
+        _ProbeCounters.checks += 1
+        return False
+
+    @enabled.setter
+    def enabled(self, value):
+        pass
+
+
 def _count_enabled_checks(run_once) -> int:
     """How many telemetry enabled-checks one gate bootstrap performs."""
-    _ProbeRegistry.checks = _ProbeTracer.checks = 0
+    _ProbeRegistry.checks = _ProbeTracer.checks = _ProbeCounters.checks = 0
     obs.REGISTRY.__class__ = _ProbeRegistry
     obs.TRACER.__class__ = _ProbeTracer
+    obs.COUNTERS.__class__ = _ProbeCounters
     try:
         run_once()
-        return _ProbeRegistry.checks + _ProbeTracer.checks
+        return _ProbeRegistry.checks + _ProbeTracer.checks + _ProbeCounters.checks
     finally:
         obs.REGISTRY.__class__ = MetricsRegistry
         obs.TRACER.__class__ = Tracer
+        obs.COUNTERS.__class__ = PerfCounters
         obs.REGISTRY.enabled = False
         obs.TRACER.enabled = False
+        obs.COUNTERS.enabled = False
 
 
 def _per_check_seconds(iterations: int = 200_000) -> float:
@@ -130,6 +150,54 @@ def test_disabled_instrumentation_overhead_under_5_percent():
     assert fraction < MAX_DISABLED_OVERHEAD
 
 
+def test_disabled_counters_allocate_nothing_on_simulator_hot_path():
+    """With the perf counters off the simulator must not touch them at all.
+
+    Stronger than the timing bound: ``tracemalloc`` filtered to the
+    counters module proves the disabled path allocates *zero* objects
+    there across a full simulator run - the single read-and-branch
+    discipline, enforced.
+    """
+    from repro.core.accelerator import MorphlingConfig
+    from repro.core.simulator import simulate_bootstrap
+    from repro.params import get_params
+
+    config, params = MorphlingConfig(), get_params("I")
+    simulate_bootstrap(config, params)  # warm caches outside the trace
+    obs.disable()
+    counters_file = obs.COUNTERS.__class__.__module__.replace(".", "/")
+    tracemalloc.start()
+    try:
+        simulate_bootstrap(config, params)
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    stats = snapshot.filter_traces(
+        [tracemalloc.Filter(True, f"*{counters_file.rsplit('/', 1)[-1]}.py")]
+    ).statistics("filename")
+    blocks = sum(stat.count for stat in stats)
+    assert blocks == 0, (
+        f"disabled perf counters allocated {blocks} blocks: {stats}"
+    )
+
+
+def test_counter_recording_is_deterministic_across_runs():
+    """Two identical simulator runs must produce byte-identical digests."""
+    from repro.core.accelerator import MorphlingConfig
+    from repro.core.simulator import simulate_bootstrap
+    from repro.params import get_params
+
+    config, params = MorphlingConfig(), get_params("II")
+    digests = []
+    for _ in range(2):
+        with obs.counting() as bank:
+            simulate_bootstrap(config, params)
+            digests.append(bank.digest())
+    assert digests[0] == digests[1]
+
+
 if __name__ == "__main__":
     test_disabled_instrumentation_overhead_under_5_percent()
+    test_disabled_counters_allocate_nothing_on_simulator_hot_path()
+    test_counter_recording_is_deterministic_across_runs()
     print("overhead guard: OK")

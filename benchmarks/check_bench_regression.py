@@ -1,0 +1,110 @@
+"""Compare a collected bench document against the committed baseline.
+
+Usage (what the CI bench-regression job runs)::
+
+    python -m pytest benchmarks/bench_core_perf.py --bench-json BENCH_core.json
+    python benchmarks/check_bench_regression.py \
+        --baseline benchmarks/baselines/BENCH_core.json \
+        --current BENCH_core.json
+
+Per-metric policy:
+
+- float metrics (``throughput_bs``, ``bootstrap_latency_ms``) compare
+  within a relative tolerance (default 1%) - the models are analytic, so
+  anything beyond numeric noise is a real behaviour change;
+- structural metrics (``bottleneck``, ``group_size``, reuse factors) and
+  the perf-counter ``counters_digest`` must match exactly;
+- the entry sets and ``schema_version`` must match exactly (a missing or
+  extra entry is a harness change that needs a deliberate baseline
+  refresh, not a silent pass).
+
+Exit status 0 when everything matches, 1 with a per-violation report
+otherwise.  Refresh the baseline with ``benchmarks/refresh_baseline.sh``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+#: Relative tolerance for float-valued metrics.
+DEFAULT_REL_TOL = 0.01
+
+#: Metrics compared within the relative tolerance; everything else in an
+#: entry (strings, counts, digests) must match exactly.
+TOLERANT_METRICS = ("throughput_bs", "bootstrap_latency_ms")
+
+
+def compare_documents(
+    baseline: dict, current: dict, rel_tol: float = DEFAULT_REL_TOL
+) -> List[str]:
+    """All tolerance violations between two bench documents."""
+    violations: List[str] = []
+    if baseline.get("schema_version") != current.get("schema_version"):
+        violations.append(
+            f"schema_version: baseline {baseline.get('schema_version')} "
+            f"!= current {current.get('schema_version')}"
+        )
+        return violations
+
+    base_entries: Dict[str, dict] = baseline.get("entries", {})
+    cur_entries: Dict[str, dict] = current.get("entries", {})
+    for name in sorted(set(base_entries) - set(cur_entries)):
+        violations.append(f"{name}: missing from current run")
+    for name in sorted(set(cur_entries) - set(base_entries)):
+        violations.append(f"{name}: not in baseline (refresh it deliberately)")
+
+    for name in sorted(set(base_entries) & set(cur_entries)):
+        base, cur = base_entries[name], cur_entries[name]
+        for metric in sorted(set(base) | set(cur)):
+            if metric not in base or metric not in cur:
+                side = "baseline" if metric not in cur else "current run"
+                violations.append(f"{name}.{metric}: missing from {side}")
+                continue
+            b, c = base[metric], cur[metric]
+            if metric in TOLERANT_METRICS:
+                scale = max(abs(float(b)), 1e-12)
+                rel = abs(float(c) - float(b)) / scale
+                if rel > rel_tol:
+                    violations.append(
+                        f"{name}.{metric}: {b} -> {c} "
+                        f"({rel:.2%} > {rel_tol:.2%} tolerance)"
+                    )
+            elif b != c:
+                violations.append(f"{name}.{metric}: {b!r} != {c!r}")
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON document")
+    parser.add_argument("--current", required=True,
+                        help="freshly collected JSON document")
+    parser.add_argument("--rel-tol", type=float, default=DEFAULT_REL_TOL,
+                        help="relative tolerance for float metrics "
+                             f"(default {DEFAULT_REL_TOL})")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+
+    violations = compare_documents(baseline, current, rel_tol=args.rel_tol)
+    if violations:
+        print(f"bench regression: {len(violations)} violation(s)")
+        for violation in violations:
+            print(f"  {violation}")
+        print("intentional change?  refresh with benchmarks/refresh_baseline.sh")
+        return 1
+    entries = len(baseline.get("entries", {}))
+    print(f"bench regression: {entries} entries match the baseline "
+          f"(rel tol {args.rel_tol:.2%} on {', '.join(TOLERANT_METRICS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

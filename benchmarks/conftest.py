@@ -4,9 +4,65 @@ Every bench regenerates one paper table/figure via its experiment driver,
 prints the regenerated rows (``-s`` to see them), and asserts the
 paper-shape invariants (who wins, by roughly what factor, where the
 crossovers fall).
+
+Regression collection: running with ``--bench-json PATH`` makes the
+``bench_record`` fixture collect named metric dicts across the session
+and write them as one schema-versioned JSON document at exit
+(``BENCH_core.json`` in CI).  ``check_bench_regression.py`` compares
+such a document against the committed baseline under ``baselines/``
+with per-metric tolerances; ``refresh_baseline.sh`` regenerates the
+baseline in one command.
 """
 
+import json
+
 import pytest
+
+#: Bump on any incompatible change to the collected document's shape.
+BENCH_SCHEMA_VERSION = 1
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json", default=None, metavar="PATH",
+        help="write metrics collected via the bench_record fixture to "
+             "PATH as schema-versioned JSON",
+    )
+
+
+def pytest_configure(config):
+    config._bench_entries = {}
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json")
+    if not path:
+        return
+    document = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "entries": dict(sorted(session.config._bench_entries.items())),
+    }
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+@pytest.fixture()
+def bench_record(request):
+    """Record one named metrics dict into the ``--bench-json`` document.
+
+    Call as ``bench_record("morphling@I", throughput_bs=..., ...)``.
+    Recording the same name twice in one session is an error (it would
+    silently drop one benchmark's numbers).
+    """
+    entries = request.config._bench_entries
+
+    def _record(name, **metrics):
+        if name in entries:
+            raise ValueError(f"bench entry {name!r} recorded twice")
+        entries[name] = dict(sorted(metrics.items()))
+
+    return _record
 
 
 @pytest.fixture()

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Regenerate the committed bench-regression baseline in one command:
+#
+#   benchmarks/refresh_baseline.sh
+#
+# Run it whenever a deliberate model/counter change moves the canonical
+# numbers, then commit the updated baselines/BENCH_core.json together
+# with the change that moved them.
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH=src python -m pytest benchmarks/bench_core_perf.py -q \
+    --bench-json benchmarks/baselines/BENCH_core.json
+echo "refreshed benchmarks/baselines/BENCH_core.json"

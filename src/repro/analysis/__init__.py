@@ -8,6 +8,13 @@ from .calibration import NoiseMeasurement, calibrate_bootstrap_noise, calibrate_
 from .intensity import StageIntensity, bootstrap_intensity
 from .param_search import ParameterChoice, cheapest_for_modulus, search_decomposition
 from .memory import MemoryBreakdown, bootstrap_memory
+from .profile import (
+    PROFILE_SCHEMA_VERSION,
+    BootstrapProfile,
+    WhatIf,
+    collect_profile,
+    what_if_catalog,
+)
 from .roofline import RooflinePoint, attainable_rate, machine_balance, workload_points
 from .security import SecurityEstimate, classify_parameter_set, estimate_security
 from .opcount import OperationBreakdown, count_bootstrap_operations, transform_real_mults
@@ -33,4 +40,9 @@ __all__ = [
     "OperationBreakdown",
     "count_bootstrap_operations",
     "transform_real_mults",
+    "PROFILE_SCHEMA_VERSION",
+    "BootstrapProfile",
+    "WhatIf",
+    "collect_profile",
+    "what_if_catalog",
 ]

@@ -11,6 +11,10 @@ Commands
                  a Perfetto/chrome://tracing trace-event file)
 ``metrics``      run one telemetry-enabled bootstrap group and print the
                  metrics snapshot (Prometheus text or ``--json``)
+``profile``      run the perf-counter profiler: bottleneck attribution,
+                 roofline position, and what-if upgrade estimates
+                 (``--json`` for the schema-versioned report, ``--chrome``
+                 for counter tracks in a trace-event file)
 ``verify``       statically verify compiled instruction streams for the
                  shipped configurations (``--strict`` fails on errors),
                  or lint source trees for torus-discipline violations
@@ -95,6 +99,24 @@ def build_parser() -> argparse.ArgumentParser:
     met.add_argument("--chrome", metavar="PATH", default=None,
                      help="write the recorded spans as a Chrome/Perfetto "
                           "trace-event JSON file")
+
+    prof = sub.add_parser(
+        "profile",
+        help="perf-counter profiler: bottleneck attribution + what-ifs",
+    )
+    prof.add_argument("--config", default="morphling",
+                      choices=["morphling", "no-reuse", "input-reuse"],
+                      help="named accelerator configuration")
+    prof.add_argument("--set", "--params", default="I", dest="param_set",
+                      choices=sorted(PARAM_SETS) + ["fig1"],
+                      help="TFHE parameter set (Table III)")
+    prof.add_argument("--no-what-if", action="store_true",
+                      help="skip the what-if simulator re-runs")
+    prof.add_argument("--json", action="store_true",
+                      help="print the schema-versioned profile as JSON")
+    prof.add_argument("--chrome", metavar="PATH", default=None,
+                      help="write the counter tracks as a Chrome/Perfetto "
+                           "trace-event JSON file")
 
     ver = sub.add_parser(
         "verify",
@@ -298,6 +320,40 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from .analysis.profile import collect_profile
+    from .core.accelerator import MorphlingConfig
+
+    factories = {
+        "morphling": MorphlingConfig.morphling,
+        "no-reuse": MorphlingConfig.no_reuse,
+        "input-reuse": MorphlingConfig.input_reuse,
+    }
+    config = factories[args.config]()
+    params = get_params(args.param_set)
+    profile = collect_profile(config, params, what_ifs=not args.no_what_if)
+    if args.chrome:
+        from . import observability as obs
+        from .core.simulator import simulate_bootstrap
+
+        with obs.counting() as bank:
+            simulate_bootstrap(config, params)
+            events = obs.counter_track_events(bank)
+        obs.write_chrome_trace(
+            args.chrome, events,
+            metadata={"param_set": params.name, "config": config.name,
+                      "counters_digest": profile.counters_digest},
+        )
+    if args.json:
+        _print_json(profile)
+    else:
+        print(profile.render_text())
+        if args.chrome:
+            print(f"wrote counter tracks to {args.chrome} "
+                  f"(open in ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from .verify.cli import run
 
@@ -330,6 +386,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
+    "profile": _cmd_profile,
     "verify": _cmd_verify,
 }
 

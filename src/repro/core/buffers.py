@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..observability import COUNTERS as _COUNTERS
 from ..params import TFHEParams
 from ..tfhe.polynomial import monomial_mul
 from .accelerator import MorphlingConfig
@@ -157,6 +158,9 @@ class DoublePointerRotator:
             la, lb = self.read_vector(c, rotation)
             a[c * self.vector_width : (c + 1) * self.vector_width] = la
             b[c * self.vector_width : (c + 1) * self.vector_width] = lb
+        if _COUNTERS.enabled:
+            _COUNTERS.add_ops("rotator/streams")
+            _COUNTERS.add_ops("rotator/vector_reads", chunks)
         return a, b
 
     def reference_rotation(self, rotation: int) -> np.ndarray:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..observability import REGISTRY as _METRICS
+from ..observability import COUNTERS as _COUNTERS, REGISTRY as _METRICS
 from ..params import TFHEParams
 from .accelerator import MorphlingConfig
 
@@ -83,6 +83,8 @@ class HbmModel:
         if _METRICS.enabled:
             _HBM_BYTES.inc(data_bytes, channel="xpu")
             _HBM_TRANSFERS.inc(channel="xpu")
+        if _COUNTERS.enabled:
+            self._count_channel_bytes(data_bytes, group="xpu")
         return data_bytes / (self.config.xpu_bandwidth_gbs * 1e9)
 
     def vpu_transfer_seconds(self, data_bytes: float) -> float:
@@ -90,7 +92,27 @@ class HbmModel:
         if _METRICS.enabled:
             _HBM_BYTES.inc(data_bytes, channel="vpu")
             _HBM_TRANSFERS.inc(channel="vpu")
+        if _COUNTERS.enabled:
+            self._count_channel_bytes(data_bytes, group="vpu")
         return data_bytes / (self.config.vpu_bandwidth_gbs * 1e9)
+
+    def _count_channel_bytes(self, data_bytes: float, group: str) -> None:
+        """Per-channel perf counters: traffic interleaves evenly in-group.
+
+        Channel ids follow the paper's priority split: channels
+        ``0 .. xpu_hbm_channels-1`` serve the XPUs (BSK), the rest serve
+        the VPU (KSK / LWE / test polynomials).
+        """
+        cfg = self.config
+        if group == "xpu":
+            base, width = 0, cfg.xpu_hbm_channels
+        else:
+            base, width = cfg.xpu_hbm_channels, cfg.vpu_hbm_channels
+        if width < 1:
+            return
+        share = data_bytes / width
+        for ch in range(base, base + width):
+            _COUNTERS.add_bytes(f"hbm/channel/{ch}", share)
 
     def sustainable_bootstrap_rate(
         self, params: TFHEParams, bsk_reuse: int, ksk_reuse: int

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observability import COUNTERS as _COUNTERS
 from ..params import TFHEParams
 from ..tfhe.bootstrap import modulus_switch
 from ..tfhe.glwe import GlweCiphertext, glwe_trivial, sample_extract
@@ -112,14 +113,35 @@ class MorphlingMachine:
         return accs
 
     def bootstrap_batch(self, cts: list, test_poly: np.ndarray) -> list:
-        """Full MS -> BR -> SE -> KS for up to ``vpe_rows`` ciphertexts."""
+        """Full MS -> BR -> SE -> KS for up to ``vpe_rows`` ciphertexts.
+
+        The batch advances stage by stage (all ciphertexts modulus-switch
+        before any blind rotation starts, and so on), which is the order
+        the SW-scheduler lowers one group in and the order the static
+        verifier's VER005 stage model legalises.  With the perf counters
+        enabled each stage boundary emits an ordered event on the
+        ``machine/stages`` track, named by the ISA op it corresponds to,
+        so a functional run can be cross-checked against that model.
+        """
         params = self.params
+        counting = _COUNTERS.enabled
+        if counting:
+            _COUNTERS.event("machine/stages", "modulus_switch")
         switched = [modulus_switch(ct, params.N) for ct in cts]
+        if counting:
+            _COUNTERS.add_ops("machine/modulus_switches", len(cts))
+            _COUNTERS.event("machine/stages", "blind_rotate")
         accs = self.blind_rotate_batch(switched, test_poly)
-        out = []
-        for acc in accs:
-            extracted = sample_extract(acc, 0)
-            out.append(key_switch(extracted, self.keyset.ksk))
+        if counting:
+            _COUNTERS.add_ops("machine/blind_rotations", len(accs))
+            _COUNTERS.event("machine/stages", "sample_extract")
+        extracted = [sample_extract(acc, 0) for acc in accs]
+        if counting:
+            _COUNTERS.add_ops("machine/sample_extracts", len(extracted))
+            _COUNTERS.event("machine/stages", "key_switch")
+        out = [key_switch(ext, self.keyset.ksk) for ext in extracted]
+        if counting:
+            _COUNTERS.add_ops("machine/key_switches", len(out))
         return out
 
     def bootstrap(self, ct: LweCiphertext, test_poly: np.ndarray) -> LweCiphertext:

@@ -77,3 +77,31 @@ class NocModel:
         """Fraction of the chip-wide NoC budget in use during blind rotation."""
         flows = self.steady_state_flows_gbs(params, iteration_cycles)
         return sum(flows.values()) / (self.config.noc_bandwidth_tbs * 1000.0)
+
+    # ------------------------------------------------------------------
+    def hops_per_group(
+        self, params: TFHEParams, group_size: int, streams: int
+    ) -> dict:
+        """Link traversals ("hops") one steady-state scheduler group causes.
+
+        A hop is one polynomial-sized message crossing one NoC link; a
+        multicast delivery counts one hop per reached endpoint.  Per
+        blind-rotation iteration every XPU pulls ``vpe_rows * (k+1)``
+        rotated pairs from A1 and receives the broadcast BSK_i; per
+        finished bootstrap ``(k+1)`` result polynomials cross to Shared
+        and on to the VPU, and the KSK tile plus LWE operands cross the
+        Private-B link once per group.  These are the perf-counter
+        ``noc/hops/*`` denominators the profiler reports.
+        """
+        if group_size < 1 or streams < 1:
+            raise ValueError("group_size and streams must be >= 1")
+        cfg = self.config
+        iters = params.n * streams  # iterations to retire the whole group
+        per_iter_a1 = cfg.num_xpus * cfg.vpe_rows * (params.k + 1)
+        return {
+            "private_a1_to_xpu": iters * per_iter_a1,
+            "private_a2_to_xpu": iters * params.polynomials_per_ggsw * cfg.num_xpus,
+            "xpu_to_shared": group_size * (params.k + 1),
+            "shared_to_vpu": group_size * (params.k + 1),
+            "private_b_to_vpu": group_size + params.l_k,
+        }

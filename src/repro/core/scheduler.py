@@ -15,7 +15,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..observability import REGISTRY as _METRICS, TRACER as _TRACER
+from ..observability import (
+    COUNTERS as _COUNTERS,
+    REGISTRY as _METRICS,
+    TRACER as _TRACER,
+)
 from ..params import TFHEParams
 from .accelerator import MorphlingConfig
 from .buffers import acc_stream_capacity
@@ -277,6 +281,12 @@ class HwScheduler:
         scheduled_slots = 0
         used_slots = 0
         spans = [] if record_spans else None
+        clock_hz = self.config.clock_ghz * 1e9
+        # Shared-buffer pressure: (time, byte delta) pairs collected while
+        # scheduling, replayed in time order afterwards into one sampled
+        # perf-counter track.  BR results land in Shared when the XPU
+        # instruction finishes and leave when SE drains them.
+        pressure = [] if _COUNTERS.enabled else None
         for inst in stream:
             duration = self._duration(inst)
             if inst.op is XpuOp.BLIND_ROTATE:
@@ -301,6 +311,29 @@ class HwScheduler:
                     category="schedule", track=f"hw/{key}",
                     args={"group": inst.group, "count": inst.count},
                 )
+            if pressure is not None:
+                _COUNTERS.add_cycles(f"sched/engine/{key}", duration * clock_hz)
+                if inst.op is XpuOp.BLIND_ROTATE:
+                    waves = -(-inst.count // self.config.bootstrap_cores)
+                    self.xpu.record_blind_rotations(waves * self.config.num_xpus)
+                    pressure.append((end, inst.count * self.params.glwe_bytes))
+                elif inst.op in (
+                    VpuOp.MODULUS_SWITCH, VpuOp.SAMPLE_EXTRACT, VpuOp.KEY_SWITCH
+                ):
+                    cycles = self.vpu.stage_cycles().stage_cycle_map()[inst.op.value]
+                    _COUNTERS.add_cycles(
+                        f"vpu/stage/{inst.op.value}", inst.count * cycles
+                    )
+                    if inst.op is VpuOp.SAMPLE_EXTRACT:
+                        pressure.append(
+                            (end, -inst.count * self.params.glwe_bytes)
+                        )
+        if pressure:
+            level = 0.0
+            _COUNTERS.sample("sched/shared_inflight_bytes", 0.0, 0.0)
+            for t, delta in sorted(pressure):
+                level += delta
+                _COUNTERS.sample("sched/shared_inflight_bytes", t, level)
         total = max(finish.values(), default=0.0)
         waste = 1.0 - used_slots / scheduled_slots if scheduled_slots else 0.0
         if scheduled_slots:

@@ -24,11 +24,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..observability import REGISTRY as _METRICS, TRACER as _TRACER
+from ..observability import (
+    COUNTERS as _COUNTERS,
+    REGISTRY as _METRICS,
+    TRACER as _TRACER,
+)
 from ..params import TFHEParams
 from .accelerator import MorphlingConfig
-from .buffers import A1_STREAM_OVERHEAD, acc_stream_capacity
+from .buffers import A1_STREAM_OVERHEAD, acc_stream_capacity, buffer_budget
 from .hbm import HbmModel, TrafficBreakdown
+from .noc import NocModel
 from .reuse import bsk_reuse_factor, transforms_per_bootstrap
 from .vpu import VpuModel, VpuStageCycles
 from .xpu import IterationBreakdown, XpuModel
@@ -80,23 +85,35 @@ class SimulationReport:
     iteration: IterationBreakdown
     vpu_stages: VpuStageCycles
     traffic: TrafficBreakdown
+    clock_ghz: float = 1.2
 
     @property
     def bootstrap_latency_ms(self) -> float:
         return self.bootstrap_latency_s * 1e3
 
+    def resource_times(self) -> dict:
+        """Busy seconds of the four overlapped group resources."""
+        return {
+            "xpu_compute": self.xpu_busy_s,
+            "bsk_bandwidth": self.bsk_transfer_s,
+            "vpu_compute": self.vpu_busy_s,
+            "ksk_bandwidth": self.ksk_transfer_s,
+        }
+
     def latency_fractions(self) -> dict:
         """Aggregate time share per component over one group (Fig. 7-a).
 
         XPU vs the three VPU stages; shares are of busy time, matching
-        the paper's component breakdown.
+        the paper's component breakdown.  VPU stage cycles convert to
+        seconds at the simulated clock so the shares stay correct for
+        any ``clock_ghz`` (``xpu_busy_s`` is already real seconds).
         """
-        clock = 1e9  # fractions are ratio-only; clock cancels
+        clock_hz = self.clock_ghz * 1e9
         vpu = self.vpu_stages
-        ms = self.group_size * vpu.modulus_switch / clock
-        se = self.group_size * vpu.sample_extract / clock
-        ks = self.group_size * vpu.key_switch / clock
-        xpu = self.xpu_busy_s * clock / clock
+        ms = self.group_size * vpu.modulus_switch / clock_hz
+        se = self.group_size * vpu.sample_extract / clock_hz
+        ks = self.group_size * vpu.key_switch / clock_hz
+        xpu = self.xpu_busy_s
         total = xpu + ms + se + ks
         return {
             "xpu_blind_rotation": xpu / total,
@@ -213,12 +230,47 @@ class MorphlingSimulator:
                     args={"group_size": group_size,
                           "bottleneck": resource == bottleneck},
                 )
+        if _COUNTERS.enabled:
+            # The simulator *executes* one steady-state group: account the
+            # scheduled work (every XPU runs `streams` blind rotations,
+            # the VPU post-processes the whole group) and sample the
+            # time-resolved tracks at the group boundaries.
+            self.xpu.record_blind_rotations(streams * cfg.num_xpus)
+            self.vpu.record_stage_work(group_size)
+            for stage, frac in iteration.occupancy().items():
+                track = f"xpu/occupancy/{stage}"
+                _COUNTERS.sample(track, 0.0, frac)
+                _COUNTERS.sample(track, group_time, frac)
+            xpu_util = bsk_transfer / group_time
+            vpu_util = ksk_transfer / group_time
+            for ch in range(cfg.xpu_hbm_channels + cfg.vpu_hbm_channels):
+                util = xpu_util if ch < cfg.xpu_hbm_channels else vpu_util
+                track = f"hbm/channel/{ch}/utilization"
+                _COUNTERS.sample(track, 0.0, util)
+                _COUNTERS.sample(track, group_time, util)
+            budget = buffer_budget(cfg, p, streams)
+            for name, used in (
+                ("private_a1", budget.private_a1),
+                ("private_a2", budget.private_a2),
+                ("private_b", budget.private_b),
+                ("shared", budget.shared),
+            ):
+                track = f"buffer/{name}"
+                _COUNTERS.sample(track, 0.0, float(used))
+                _COUNTERS.sample(track, group_time, float(used))
+            hops = NocModel(cfg).hops_per_group(p, group_size, streams)
+            for link, count in hops.items():
+                _COUNTERS.add_ops(f"noc/hops/{link}", float(count))
 
+        # Pure arithmetic (not `vpu_transfer_seconds`): the latency walk is
+        # a model evaluation, not executed traffic, and must not be
+        # accounted on the byte counters.
+        ksk_tail = p.ksk_bytes / (cfg.vpu_bandwidth_gbs * 1e9) / ksk_reuse
         latency = (
             br_seconds * stall
             + (vpu_stages.modulus_switch + vpu_stages.sample_extract + vpu_stages.key_switch)
             / clock_hz
-            + self.hbm.vpu_transfer_seconds(p.ksk_bytes) / ksk_reuse
+            + ksk_tail
         )
 
         return SimulationReport(
@@ -239,6 +291,7 @@ class MorphlingSimulator:
             iteration=iteration,
             vpu_stages=vpu_stages,
             traffic=traffic,
+            clock_ghz=cfg.clock_ghz,
         )
 
 

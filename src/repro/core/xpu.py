@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..observability import COUNTERS as _COUNTERS
 from ..params import TFHEParams
 from ..transforms.pipeline_model import PipelinedFFTModel
 from .accelerator import MorphlingConfig
@@ -58,9 +59,9 @@ class IterationBreakdown:
             + self.overhead
         )
 
-    def bottleneck(self) -> str:
-        """Name of the slowest stage."""
-        stages = {
+    def stage_cycle_map(self) -> dict:
+        """Stage name -> cycles, in dataflow order (perf-counter keys)."""
+        return {
             "rotation": self.rotation,
             "decomposition": self.decomposition,
             "forward_fft": self.forward_fft,
@@ -68,6 +69,22 @@ class IterationBreakdown:
             "inverse_fft": self.inverse_fft,
             "bsk_stream": self.bsk_stream,
         }
+
+    def occupancy(self) -> dict:
+        """Per-stage busy fraction of the steady-state iteration interval.
+
+        The pipelined-FFT rows of this dict are the paper's I/FFT
+        occupancy discussion (Section VI): a stage at 1.0 paces the
+        pipeline, everything below it idles part of each iteration.
+        """
+        critical = self.critical
+        if critical <= 0:
+            return dict.fromkeys(self.stage_cycle_map(), 0.0)
+        return {s: c / critical for s, c in self.stage_cycle_map().items()}
+
+    def bottleneck(self) -> str:
+        """Name of the slowest stage."""
+        stages = self.stage_cycle_map()
         return max(stages, key=stages.get)
 
 
@@ -161,6 +178,30 @@ class XpuModel:
         """Cycles for one full blind rotation (n iterations + fill)."""
         fill = self.fft.fill_latency + self.ifft.fill_latency
         return self.params.n * self.iteration_cycles() + fill
+
+    def record_blind_rotations(self, count: int = 1) -> None:
+        """Account ``count`` scheduled blind rotations on the perf counters.
+
+        One blind rotation is this XPU's unit of scheduled work (a
+        resident batch of ``vpe_rows`` bootstraps): per-stage busy cycles
+        over all ``n`` iterations, the modelled double-pointer rotations,
+        and the pipeline fill.  Whoever *executes* the modelled work (the
+        simulator per steady-state group, the HW-scheduler per XPU
+        instruction) calls this, so model evaluations never inflate the
+        counters.
+        """
+        if not _COUNTERS.enabled or count <= 0:
+            return
+        bd = self.iteration_breakdown()
+        fill = self.fft.fill_latency + self.ifft.fill_latency
+        n = self.params.n
+        for stage, cycles in bd.stage_cycle_map().items():
+            _COUNTERS.add_cycles(f"xpu/stage/{stage}", count * n * cycles)
+        _COUNTERS.add_cycles("xpu/stage/overhead", count * n * bd.overhead)
+        _COUNTERS.add_cycles("xpu/fill", count * fill)
+        _COUNTERS.add_ops(
+            "rotator/rotations", count * n * self.rows * (self.params.k + 1)
+        )
 
     def blind_rotation_seconds(self) -> float:
         """Wall-clock blind rotation time for the resident batch."""

@@ -28,8 +28,10 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from .counters import COUNTERS, PerfCounters, counting
 from .export import (
     chrome_trace_events,
+    counter_track_events,
     pipeline_trace_events,
     render_prometheus,
     schedule_trace_events,
@@ -42,6 +44,7 @@ from .tracer import Span, Tracer, traced
 __all__ = [
     "REGISTRY",
     "TRACER",
+    "COUNTERS",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -50,6 +53,8 @@ __all__ = [
     "Tracer",
     "Span",
     "traced",
+    "PerfCounters",
+    "counting",
     "enable",
     "disable",
     "is_enabled",
@@ -58,6 +63,7 @@ __all__ = [
     "to_jsonable",
     "render_prometheus",
     "chrome_trace_events",
+    "counter_track_events",
     "pipeline_trace_events",
     "schedule_trace_events",
     "write_chrome_trace",
@@ -71,39 +77,42 @@ TRACER = Tracer()
 
 
 def enable() -> None:
-    """Switch both the registry and the tracer on."""
+    """Switch the registry, the tracer and the perf counters on."""
     REGISTRY.enable()
     TRACER.enable()
+    COUNTERS.enable()
 
 
 def disable() -> None:
-    """Switch both the registry and the tracer off."""
+    """Switch the registry, the tracer and the perf counters off."""
     REGISTRY.disable()
     TRACER.disable()
+    COUNTERS.disable()
 
 
 def is_enabled() -> bool:
-    return REGISTRY.enabled or TRACER.enabled
+    return REGISTRY.enabled or TRACER.enabled or COUNTERS.enabled
 
 
 def reset() -> None:
-    """Clear all recorded metrics and spans (registrations survive)."""
+    """Clear all recorded metrics, spans and counters (registrations survive)."""
     REGISTRY.reset()
     TRACER.reset()
+    COUNTERS.reset()
 
 
 @contextmanager
 def telemetry(clear: bool = True):
     """Enable telemetry for a ``with`` block, restoring the prior state.
 
-    With ``clear`` (the default) the registry and tracer are reset on
-    entry so the block observes only its own activity.
+    With ``clear`` (the default) the registry, tracer and perf counters
+    are reset on entry so the block observes only its own activity.
     """
-    prior = (REGISTRY.enabled, TRACER.enabled)
+    prior = (REGISTRY.enabled, TRACER.enabled, COUNTERS.enabled)
     if clear:
         reset()
     enable()
     try:
         yield REGISTRY, TRACER
     finally:
-        REGISTRY.enabled, TRACER.enabled = prior
+        REGISTRY.enabled, TRACER.enabled, COUNTERS.enabled = prior

@@ -31,6 +31,7 @@ __all__ = [
     "to_jsonable",
     "render_prometheus",
     "chrome_trace_events",
+    "counter_track_events",
     "pipeline_trace_events",
     "schedule_trace_events",
     "write_chrome_trace",
@@ -218,6 +219,45 @@ def schedule_trace_events(result: Any) -> List[dict]:
                 "pid": _PID,
                 "tid": track_ids[engine],
                 "args": {"group": group},
+            }
+        )
+    return events
+
+
+def counter_track_events(counters: Any) -> List[dict]:
+    """Render perf-counter sampled tracks as Chrome counter events.
+
+    ``counters`` is a :class:`~repro.observability.counters.PerfCounters`
+    (or anything with a compatible ``snapshot()``).  Each sampled track
+    becomes a ``ph: "C"`` counter series (drawn by Perfetto as a
+    step-line row); ordered events become ``ph: "i"`` instants on their
+    own row.  Sample times are simulated seconds -> trace microseconds.
+    """
+    snapshot = counters.snapshot() if hasattr(counters, "snapshot") else counters
+    events: List[dict] = []
+    for track, samples in snapshot.get("samples", {}).items():
+        for t_s, value in samples:
+            events.append(
+                {
+                    "name": track,
+                    "cat": "perf_counter",
+                    "ph": "C",
+                    "ts": t_s * 1e6,
+                    "pid": _PID,
+                    "args": {"value": value},
+                }
+            )
+    for seq, (track, name) in enumerate(snapshot.get("events", [])):
+        events.append(
+            {
+                "name": name,
+                "cat": "perf_event",
+                "ph": "i",
+                "s": "g",
+                "ts": float(seq),
+                "pid": _PID,
+                "tid": 0,
+                "args": {"track": track, "seq": seq},
             }
         )
     return events

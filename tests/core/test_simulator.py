@@ -53,6 +53,32 @@ class TestLatencyFractions:
         assert fr["vpu_key_switch"] > fr["vpu_modulus_switch"]
         assert fr["vpu_key_switch"] > fr["vpu_sample_extract"]
 
+    @pytest.mark.parametrize("clock_ghz", [0.6, 1.0, 2.4])
+    def test_fractions_clock_invariant(self, clock_ghz):
+        """Regression: the VPU terms used to be divided by a hard-coded
+        1 GHz clock while the XPU term carried real seconds at
+        ``clock_ghz``, skewing the shares at any non-1 GHz clock.  Both
+        sides are pure cycle ratios, so the fractions must not move with
+        the clock at all."""
+        p = get_params("I")
+        base = simulate_bootstrap(MorphlingConfig(clock_ghz=1.0), p)
+        scaled = simulate_bootstrap(MorphlingConfig(clock_ghz=clock_ghz), p)
+        for key, value in base.latency_fractions().items():
+            assert scaled.latency_fractions()[key] == pytest.approx(value)
+
+    def test_fractions_match_cycle_arithmetic_at_default_clock(self):
+        """Cross-check against first principles at the 1.2 GHz default."""
+        r = simulate_bootstrap(MorphlingConfig(), get_params("I"))
+        clock_hz = r.clock_ghz * 1e9
+        xpu_cycles = r.xpu_busy_s * clock_hz
+        vpu = r.vpu_stages
+        total = xpu_cycles + r.group_size * vpu.total
+        fr = r.latency_fractions()
+        assert fr["xpu_blind_rotation"] == pytest.approx(xpu_cycles / total)
+        assert fr["vpu_key_switch"] == pytest.approx(
+            r.group_size * vpu.key_switch / total
+        )
+
 
 class TestResourceSensitivity:
     def test_halved_a1_becomes_bandwidth_bound(self):

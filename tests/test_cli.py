@@ -116,6 +116,54 @@ class TestJsonReports:
         assert values["sim_transforms_total"][(("direction", "forward"),)] > 0
 
 
+class TestProfileCommand:
+    def test_text_report(self, capsys):
+        assert main(["profile", "--set", "I"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck" in out
+        assert "xpu_compute" in out
+        assert "what-if" in out
+        assert "counters digest" in out
+
+    def test_named_config_variants(self, capsys):
+        assert main(["profile", "--config", "no-reuse", "--set", "III",
+                     "--no-what-if"]) == 0
+        out = capsys.readouterr().out
+        assert "no-reuse @ set III" in out
+        assert "what-if" not in out
+
+    def test_json_schema_versioned(self, capsys):
+        assert main(["profile", "--set", "I", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == 1
+        assert doc["bottleneck"] == "xpu_compute"
+        assert doc["utilization"]["xpu_compute"] == pytest.approx(1.0)
+        assert len(doc["counters_digest"]) == 64
+        names = {wi["name"] for wi in doc["what_ifs"]}
+        assert "xpu_hbm_2x" in names
+        for wi in doc["what_ifs"]:
+            assert wi["speedup"] == pytest.approx(
+                wi["throughput_bs"] / wi["baseline_throughput_bs"]
+            )
+
+    def test_chrome_counter_tracks(self, capsys, tmp_path):
+        path = tmp_path / "counters.json"
+        assert main(["profile", "--set", "I", "--no-what-if",
+                     "--chrome", str(path)]) == 0
+        assert "wrote counter tracks" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        tracks = {e["name"] for e in events if e["ph"] == "C"}
+        assert "buffer/shared" in tracks
+        assert any(t.startswith("xpu/occupancy/") for t in tracks)
+
+    def test_counters_left_disabled_after_run(self):
+        from repro import observability as obs
+
+        assert main(["profile", "--set", "I", "--no-what-if"]) == 0
+        assert not obs.COUNTERS.enabled
+
+
 class TestMetricsCommand:
     def test_prometheus_text_default(self, capsys):
         assert main(["metrics", "--set", "I"]) == 0
