@@ -26,6 +26,7 @@ import numpy as np
 
 from repro import TEST_PARAMS, observability as obs
 from repro.observability.counters import PerfCounters
+from repro.observability.noise import NoiseTracker
 from repro.observability.registry import MetricsRegistry
 from repro.observability.tracer import Tracer
 from repro.tfhe import TfheContext
@@ -77,22 +78,42 @@ class _ProbeCounters(PerfCounters):
         pass
 
 
+class _ProbeNoise(NoiseTracker):
+    """Noise tracker whose ``enabled`` read is counted (always False)."""
+
+    checks = 0
+
+    @property
+    def enabled(self):
+        _ProbeNoise.checks += 1
+        return False
+
+    @enabled.setter
+    def enabled(self, value):
+        pass
+
+
 def _count_enabled_checks(run_once) -> int:
     """How many telemetry enabled-checks one gate bootstrap performs."""
-    _ProbeRegistry.checks = _ProbeTracer.checks = _ProbeCounters.checks = 0
+    _ProbeRegistry.checks = _ProbeTracer.checks = 0
+    _ProbeCounters.checks = _ProbeNoise.checks = 0
     obs.REGISTRY.__class__ = _ProbeRegistry
     obs.TRACER.__class__ = _ProbeTracer
     obs.COUNTERS.__class__ = _ProbeCounters
+    obs.NOISE.__class__ = _ProbeNoise
     try:
         run_once()
-        return _ProbeRegistry.checks + _ProbeTracer.checks + _ProbeCounters.checks
+        return (_ProbeRegistry.checks + _ProbeTracer.checks
+                + _ProbeCounters.checks + _ProbeNoise.checks)
     finally:
         obs.REGISTRY.__class__ = MetricsRegistry
         obs.TRACER.__class__ = Tracer
         obs.COUNTERS.__class__ = PerfCounters
+        obs.NOISE.__class__ = NoiseTracker
         obs.REGISTRY.enabled = False
         obs.TRACER.enabled = False
         obs.COUNTERS.enabled = False
+        obs.NOISE.enabled = False
 
 
 def _per_check_seconds(iterations: int = 200_000) -> float:
@@ -181,6 +202,32 @@ def test_disabled_counters_allocate_nothing_on_simulator_hot_path():
     )
 
 
+def test_disabled_noise_tracker_allocates_nothing_on_gate_path():
+    """With tracking off the tfhe gate path must not touch the tracker.
+
+    Same contract as the counters: ``tracemalloc`` filtered to the noise
+    module proves a full gate bootstrap (encrypt -> linear ops ->
+    bootstrap -> decode) allocates *zero* objects there while disabled.
+    """
+    ctx = TfheContext.create(TEST_PARAMS, seed=11)
+    x, y = ctx.encrypt(1), ctx.encrypt(0)
+    ctx.decrypt(ctx.gate("nand", x, y))  # warm caches outside the trace
+    obs.disable()
+    tracemalloc.start()
+    try:
+        ctx.decrypt(ctx.gate("nand", ctx.encrypt(1), ctx.encrypt(0)))
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    stats = snapshot.filter_traces(
+        [tracemalloc.Filter(True, "*observability/noise.py")]
+    ).statistics("filename")
+    blocks = sum(stat.count for stat in stats)
+    assert blocks == 0, (
+        f"disabled noise tracker allocated {blocks} blocks: {stats}"
+    )
+
+
 def test_counter_recording_is_deterministic_across_runs():
     """Two identical simulator runs must produce byte-identical digests."""
     from repro.core.accelerator import MorphlingConfig
@@ -199,5 +246,6 @@ def test_counter_recording_is_deterministic_across_runs():
 if __name__ == "__main__":
     test_disabled_instrumentation_overhead_under_5_percent()
     test_disabled_counters_allocate_nothing_on_simulator_hot_path()
+    test_disabled_noise_tracker_allocates_nothing_on_gate_path()
     test_counter_recording_is_deterministic_across_runs()
     print("overhead guard: OK")

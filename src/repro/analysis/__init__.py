@@ -5,6 +5,13 @@ principles (with the counting conventions documented per module).
 """
 
 from .calibration import NoiseMeasurement, calibrate_bootstrap_noise, calibrate_fresh_noise
+from .failprob import (
+    FAILPROB_SCHEMA_VERSION,
+    FailurePointEstimate,
+    WorkloadFailureReport,
+    estimate_failure_probability,
+    gaussian_tail_log2,
+)
 from .intensity import StageIntensity, bootstrap_intensity
 from .param_search import ParameterChoice, cheapest_for_modulus, search_decomposition
 from .memory import MemoryBreakdown, bootstrap_memory
@@ -45,4 +52,9 @@ __all__ = [
     "WhatIf",
     "collect_profile",
     "what_if_catalog",
+    "FAILPROB_SCHEMA_VERSION",
+    "FailurePointEstimate",
+    "WorkloadFailureReport",
+    "estimate_failure_probability",
+    "gaussian_tail_log2",
 ]

@@ -17,8 +17,14 @@ Commands
                  for counter tracks in a trace-event file)
 ``verify``       statically verify compiled instruction streams for the
                  shipped configurations (``--strict`` fails on errors),
-                 or lint source trees for torus-discipline violations
-                 (``--lint PATH``)
+                 lint source trees for torus-discipline violations
+                 (``--lint PATH``), or verify an encoded instruction
+                 blob end to end (``--binary FILE``)
+``noise``        run a boolean-gate workload under noise telemetry:
+                 per-op predicted noise, drift verdicts, and the
+                 decryption-failure probability (``--measure`` decrypts
+                 with the debug key for predicted-vs-measured pairs;
+                 ``--json``/``--chrome`` export the noise waterfall)
 """
 
 from __future__ import annotations
@@ -136,6 +142,34 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the verifier pass and lint rule catalog")
     ver.add_argument("--json", action="store_true",
                      help="emit the reports as JSON")
+    ver.add_argument("--binary", metavar="FILE", default=None,
+                     help="decode an isa_encoding instruction blob and run "
+                          "the verifier pass pipeline on it")
+
+    noi = sub.add_parser(
+        "noise",
+        help="noise telemetry: run a gate workload, report predicted "
+             "(and, with --measure, measured) noise + failure probability",
+    )
+    noi.add_argument("--set", default="test", dest="param_set",
+                     choices=sorted(PARAM_SETS) + ["test"],
+                     help="TFHE parameter set (default: the fast test set)")
+    noi.add_argument("--workload", default="adder",
+                     choices=["adder", "gates"],
+                     help="boolean workload: a 2-bit ripple-carry adder "
+                          "circuit, or one of each basic gate")
+    noi.add_argument("--seed", type=int, default=7)
+    noi.add_argument("--measure", action="store_true",
+                     help="register the debug secret key so every tracked "
+                          "op also records its measured phase error")
+    noi.add_argument("--fail-prob", action="store_true",
+                     help="print only the decryption-failure report")
+    noi.add_argument("--json", action="store_true",
+                     help="print the full noise snapshot (records, drift, "
+                          "failure probability) as JSON")
+    noi.add_argument("--chrome", metavar="PATH", default=None,
+                     help="write the noise waterfall as a Chrome/Perfetto "
+                          "trace-event JSON file")
     return parser
 
 
@@ -363,7 +397,108 @@ def _cmd_verify(args) -> int:
         as_json=args.json,
         list_rules=args.list_rules,
         target=args.target,
+        binary=args.binary,
     )
+
+
+def _noise_workload_adder(ctx):
+    """2-bit ripple-carry adder: the boolean-gate reference workload."""
+    from .tfhe.boolean import Circuit, ripple_carry_adder
+
+    circuit = Circuit()
+    a_bits = [circuit.add_input("a0"), circuit.add_input("a1")]
+    b_bits = [circuit.add_input("b0"), circuit.add_input("b1")]
+    sums, carry = ripple_carry_adder(circuit, a_bits, b_bits)
+    for i, s in enumerate(sums):
+        circuit.mark_output(s, f"s{i}")
+    circuit.mark_output(carry, "carry")
+    inputs = {"a0": 1, "a1": 1, "b0": 1, "b1": 0}  # 3 + 1 = 4
+    enc = {name: ctx.encrypt(bit) for name, bit in inputs.items()}
+    out = circuit.evaluate_encrypted(ctx, enc)
+    expected = circuit.evaluate_plain(inputs)
+    decoded = {name: ctx.decrypt(ct) for name, ct in out.items()}
+    return decoded, expected
+
+
+def _noise_workload_gates(ctx):
+    """One of each basic gate over fresh bit ciphertexts."""
+    decoded, expected = {}, {}
+    for name in ("and", "or", "xor", "nand", "nor", "xnor"):
+        from .tfhe.ops import GATE_LUTS
+
+        x, y = ctx.encrypt(1), ctx.encrypt(0)
+        decoded[name] = ctx.decrypt(ctx.gate(name, x, y))
+        expected[name] = GATE_LUTS[name](1)
+    return decoded, expected
+
+
+def _cmd_noise(args) -> int:
+    from . import observability as obs
+    from .analysis.failprob import estimate_failure_probability
+    from .tfhe.ops import TfheContext
+
+    params = get_params(args.param_set)
+    ctx = TfheContext.create(params, seed=args.seed)
+    debug_key = ctx.keyset.lwe_key if args.measure else None
+    workload = {"adder": _noise_workload_adder,
+                "gates": _noise_workload_gates}[args.workload]
+    with obs.noise_tracking(lwe_key=debug_key) as tracker:
+        decoded, expected = workload(ctx)
+        drift = obs.drift_report(tracker)
+        report = estimate_failure_probability(tracker)
+        snapshot = tracker.snapshot()
+        if args.chrome:
+            obs.write_chrome_trace(
+                args.chrome, obs.noise_trace_events(snapshot),
+                metadata={"param_set": params.name, "workload": args.workload},
+            )
+    functional_ok = decoded == expected
+    if args.json:
+        _print_json({
+            "param_set": params.name,
+            "workload": args.workload,
+            "functional_ok": functional_ok,
+            "outputs": decoded,
+            "noise": snapshot,
+            "drift": [d.to_jsonable() for d in drift],
+            "failure": report.to_jsonable(),
+        })
+        return 0 if functional_ok else 1
+    if not args.fail_prob:
+        mode = "measured" if args.measure else "predicted only"
+        print(f"noise telemetry: workload '{args.workload}' on parameter set "
+              f"{params.name} ({mode})")
+        print(f"  outputs {decoded} "
+              f"{'==' if functional_ok else '!='} expected {expected}")
+        print(f"  {len(tracker.records())} tracked ops, "
+              f"{len(tracker.failure_points())} decision points")
+        header = (f"  {'op class':28s} {'count':>5s} {'pred std':>10s} "
+                  f"{'meas rms':>10s} {'worst σ':>8s}  verdict")
+        print(header)
+        for d in drift:
+            meas = (f"2^{_log2(d.measured_rms):.1f}" if d.measured_count
+                    else "-")
+            worst = f"{d.worst_sigma:.2f}" if d.measured_count else "-"
+            verdict = "ok" if d.within_envelope else "DRIFT"
+            if not d.measured_count:
+                verdict = "unmeasured"
+            print(f"  {d.op:28s} {d.count:5d} "
+                  f"{'2^%.1f' % _log2(d.predicted_std_rms):>10s} "
+                  f"{meas:>10s} {worst:>8s}  {verdict}")
+    print(report.render_text())
+    budget_ok = report.meets(-20.0)
+    print(f"  within 2^-20 budget: {'yes' if budget_ok else 'NO'}")
+    if args.chrome:
+        print(f"wrote noise waterfall to {args.chrome} "
+              f"(open in ui.perfetto.dev or chrome://tracing)")
+    drift_ok = all(d.within_envelope for d in drift)
+    return 0 if (functional_ok and drift_ok and budget_ok) else 1
+
+
+def _log2(value: float) -> float:
+    import math
+
+    return math.log2(value) if value > 0 else float("-inf")
 
 
 def _config_from_args_for_trace(args) -> "MorphlingConfig":
@@ -388,6 +523,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "profile": _cmd_profile,
     "verify": _cmd_verify,
+    "noise": _cmd_noise,
 }
 
 

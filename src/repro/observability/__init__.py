@@ -32,11 +32,21 @@ from .counters import COUNTERS, PerfCounters, counting
 from .export import (
     chrome_trace_events,
     counter_track_events,
+    noise_trace_events,
     pipeline_trace_events,
     render_prometheus,
     schedule_trace_events,
     to_jsonable,
     write_chrome_trace,
+)
+from .noise import (
+    NOISE,
+    FailurePoint,
+    NoiseRecord,
+    NoiseTracker,
+    OpClassDrift,
+    drift_report,
+    noise_tracking,
 )
 from .registry import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
 from .tracer import Span, Tracer, traced
@@ -45,6 +55,7 @@ __all__ = [
     "REGISTRY",
     "TRACER",
     "COUNTERS",
+    "NOISE",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -55,6 +66,12 @@ __all__ = [
     "traced",
     "PerfCounters",
     "counting",
+    "NoiseTracker",
+    "NoiseRecord",
+    "FailurePoint",
+    "OpClassDrift",
+    "noise_tracking",
+    "drift_report",
     "enable",
     "disable",
     "is_enabled",
@@ -64,6 +81,7 @@ __all__ = [
     "render_prometheus",
     "chrome_trace_events",
     "counter_track_events",
+    "noise_trace_events",
     "pipeline_trace_events",
     "schedule_trace_events",
     "write_chrome_trace",
@@ -77,42 +95,46 @@ TRACER = Tracer()
 
 
 def enable() -> None:
-    """Switch the registry, the tracer and the perf counters on."""
+    """Switch the registry, tracer, perf counters and noise tracker on."""
     REGISTRY.enable()
     TRACER.enable()
     COUNTERS.enable()
+    NOISE.enable()
 
 
 def disable() -> None:
-    """Switch the registry, the tracer and the perf counters off."""
+    """Switch the registry, tracer, perf counters and noise tracker off."""
     REGISTRY.disable()
     TRACER.disable()
     COUNTERS.disable()
+    NOISE.disable()
 
 
 def is_enabled() -> bool:
-    return REGISTRY.enabled or TRACER.enabled or COUNTERS.enabled
+    return REGISTRY.enabled or TRACER.enabled or COUNTERS.enabled or NOISE.enabled
 
 
 def reset() -> None:
-    """Clear all recorded metrics, spans and counters (registrations survive)."""
+    """Clear all recorded metrics, spans, counters and noise records."""
     REGISTRY.reset()
     TRACER.reset()
     COUNTERS.reset()
+    NOISE.reset()
 
 
 @contextmanager
 def telemetry(clear: bool = True):
     """Enable telemetry for a ``with`` block, restoring the prior state.
 
-    With ``clear`` (the default) the registry, tracer and perf counters
-    are reset on entry so the block observes only its own activity.
+    With ``clear`` (the default) the registry, tracer, perf counters and
+    noise tracker are reset on entry so the block observes only its own
+    activity.
     """
-    prior = (REGISTRY.enabled, TRACER.enabled, COUNTERS.enabled)
+    prior = (REGISTRY.enabled, TRACER.enabled, COUNTERS.enabled, NOISE.enabled)
     if clear:
         reset()
     enable()
     try:
         yield REGISTRY, TRACER
     finally:
-        REGISTRY.enabled, TRACER.enabled, COUNTERS.enabled = prior
+        REGISTRY.enabled, TRACER.enabled, COUNTERS.enabled, NOISE.enabled = prior

@@ -25,6 +25,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import json
+import math
 from typing import Any, Dict, Iterable, List, Optional
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "render_prometheus",
     "chrome_trace_events",
     "counter_track_events",
+    "noise_trace_events",
     "pipeline_trace_events",
     "schedule_trace_events",
     "write_chrome_trace",
@@ -260,6 +262,78 @@ def counter_track_events(counters: Any) -> List[dict]:
                 "args": {"track": track, "seq": seq},
             }
         )
+    return events
+
+
+def noise_trace_events(tracker: Any) -> List[dict]:
+    """Render a noise-tracker snapshot as a Chrome-trace noise waterfall.
+
+    ``tracker`` is a :class:`~repro.observability.noise.NoiseTracker` (or
+    a compatible ``snapshot()`` dict).  Each record becomes a ``ph: "X"``
+    event on a per-label row at ts = op_id (the waterfall axis is op
+    order, not time), carrying predicted/measured noise in the args;
+    provenance edges render as ``ph: "s"/"f"`` flow events so Perfetto
+    draws arrows from parents to children.  Two ``ph: "C"`` counter
+    series plot predicted std and measured |error| in log2 torus units.
+    """
+    snapshot = tracker.snapshot() if hasattr(tracker, "snapshot") else tracker
+    records = snapshot.get("records", [])
+    tracks = {f"noise/{r['label']}" if r["label"] else "noise" for r in records}
+    track_ids = _track_ids(tracks)
+    events = _thread_metadata(track_ids)
+    for r in records:
+        track = f"noise/{r['label']}" if r["label"] else "noise"
+        tid = track_ids[track]
+        ts = float(r["op_id"])
+        events.append(
+            {
+                "name": r["op"],
+                "cat": "noise",
+                "ph": "X",
+                "ts": ts,
+                "dur": 1.0,
+                "pid": _PID,
+                "tid": tid,
+                "args": {
+                    "op_id": r["op_id"],
+                    "predicted_std_log2": r["predicted_std_log2"],
+                    "measured": r["measured"],
+                    "sigma": r["sigma"],
+                },
+            }
+        )
+        for parent in r["parents"]:
+            flow = {"cat": "noise", "id": f"n{parent}->{r['op_id']}", "pid": _PID}
+            events.append(
+                {**flow, "name": "dep", "ph": "s", "ts": float(parent) + 0.5,
+                 "tid": tid}
+            )
+            events.append(
+                {**flow, "name": "dep", "ph": "f", "bp": "e", "ts": ts + 0.5,
+                 "tid": tid}
+            )
+        events.append(
+            {
+                "name": "predicted_std_log2",
+                "cat": "noise",
+                "ph": "C",
+                "ts": ts,
+                "pid": _PID,
+                "args": {"value": r["predicted_std_log2"]},
+            }
+        )
+        if r["measured"] is not None:
+            magnitude = math.log2(max(abs(r["measured"]), 2.0**-40))
+            events.append(
+                {
+                    "name": "measured_abs_log2",
+                    "cat": "noise",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": _PID,
+                    "args": {"value": magnitude},
+                }
+            )
     return events
 
 

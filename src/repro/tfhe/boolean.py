@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..observability import NOISE as _NOISE
 from .ops import GATE_LUTS, TfheContext
 
 __all__ = ["Wire", "Circuit", "ripple_carry_adder", "equality_comparator", "less_than_comparator", "multiplexer"]
@@ -173,6 +174,12 @@ class Circuit:
             else:
                 a, b = (values[o] for o in node.operands)
                 values[node_id] = ctx.gate(node.op, a, b)
+            if _NOISE.enabled:
+                # Tie the provenance record back to the circuit DAG so the
+                # noise waterfall reads in circuit terms, not op soup.
+                record = _NOISE.record_of(values[node_id])
+                if record is not None:
+                    record.meta.setdefault("circuit_node", node_id)
         return {name: values[nid] for name, nid in self._outputs.items()}
 
 

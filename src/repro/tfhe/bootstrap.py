@@ -21,13 +21,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..observability import REGISTRY as _METRICS, TRACER as _TRACER
+from ..observability import NOISE as _NOISE, REGISTRY as _METRICS, TRACER as _TRACER
 from .decomposition import decompose
 from .ggsw import cmux
 from .glwe import GlweCiphertext, glwe_rotate, glwe_trivial, sample_extract
 from .keys import KeySet, KeySwitchingKey
 from .lwe import LweCiphertext
-from .torus import modswitch, to_torus
+from .noise import (
+    blind_rotation_noise_variance,
+    key_switch_noise_variance,
+    modulus_switch_noise_variance,
+)
+from .torus import modswitch, to_signed, to_torus, u32
 
 __all__ = [
     "BootstrapTrace",
@@ -137,6 +142,63 @@ def key_switch(
     return LweCiphertext(to_torus(mask_acc), to_torus(body_acc)[()])
 
 
+def _negacyclic_lookup(test_poly: np.ndarray, j: int, N: int) -> int:
+    """Coefficient 0 of ``X^{-j} * TP`` over ``Z_{2N}`` (antiperiodic)."""
+    j %= 2 * N
+    if j < N:
+        return int(test_poly[j])
+    return int(u32(-int(test_poly[j - N])))
+
+
+def _track_bootstrap(
+    result: LweCiphertext,
+    ct_in: LweCiphertext,
+    test_poly: np.ndarray,
+    keyset: KeySet,
+    op: str,
+) -> None:
+    """Noise-telemetry hook: shadow the bootstrap's ideal output.
+
+    A bootstrap is a *decision* followed by a *refresh*: the noisy phase
+    picks a ``Z_{2N}`` test-polynomial bucket (where modswitch rounding
+    plus the input noise can pick wrong), and the output carries only
+    fresh BR+KS noise.  The shadow replays the decision on the noise-free
+    expected phase, records the fresh output variance on ``result``, and
+    logs the decision margin (distance to the nearest bucket whose output
+    differs) as a failure point.
+    """
+    record = _NOISE.record_of(ct_in)
+    if record is None:
+        return
+    params = keyset.params
+    n2 = 2 * params.N
+    m = int(modswitch(np.asarray(record.expected, dtype=np.uint32), n2)[()])
+    expected_out = _negacyclic_lookup(test_poly, m, params.N)
+    out_variance = key_switch_noise_variance(
+        params, blind_rotation_noise_variance(params)
+    )
+    _NOISE.track(result, op, out_variance, expected_out, parents=(ct_in,))
+    # Decision margin: expected phase offset within its bucket, plus the
+    # distance (in buckets) to the nearest value change of the LUT.
+    step = 1.0 / n2
+    delta_num = int(to_signed(u32(record.expected - m * ((1 << 32) // n2))))
+    delta = delta_num / float(1 << 32)
+    d_up = d_down = None
+    for d in range(1, n2):
+        if d_up is None and _negacyclic_lookup(test_poly, m + d, params.N) != expected_out:
+            d_up = d
+        if d_down is None and _negacyclic_lookup(test_poly, m - d, params.N) != expected_out:
+            d_down = d
+        if d_up is not None and d_down is not None:
+            break
+    margin_up = ((d_up - 0.5) * step - delta) if d_up is not None else 0.5
+    margin_down = ((d_down - 0.5) * step + delta) if d_down is not None else 0.5
+    decision_variance = record.predicted_variance + modulus_switch_noise_variance(params)
+    _NOISE.record_failure_point(
+        "bootstrap_decision", min(margin_up, margin_down), decision_variance
+    )
+
+
 def programmable_bootstrap(
     ct: LweCiphertext,
     test_poly: np.ndarray,
@@ -162,4 +224,6 @@ def programmable_bootstrap(
         extracted = sample_extract(acc, 0)
         result = key_switch(extracted, keyset.ksk, trace=trace)
     _BOOTSTRAPS.inc()
+    if _NOISE.enabled:
+        _track_bootstrap(result, ct, test_poly, keyset, "programmable_bootstrap")
     return result

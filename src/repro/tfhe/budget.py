@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
 
 from ..params import TFHEParams
 from .noise import (
@@ -60,7 +61,7 @@ class NoiseBudget:
         """Plaintext multiplication scales the noise by |scalar|."""
         return NoiseBudget(self.variance * scalar * scalar, self.params)
 
-    def weighted_sum(self, weights) -> "NoiseBudget":
+    def weighted_sum(self, weights: Iterable[int]) -> "NoiseBudget":
         """Dot product with plaintext weights, all operands at this level."""
         factor = sum(int(w) * int(w) for w in weights)
         return NoiseBudget(self.variance * factor, self.params)
@@ -86,7 +87,7 @@ class LinearOp:
 class BootstrapPlan:
     """Where bootstraps were inserted and what the program costs."""
 
-    steps: list  # (op_name, bootstrapped_before: bool)
+    steps: List[Tuple[str, bool]]  # (op_name, bootstrapped_before)
     total_bootstraps: int
     final_budget: NoiseBudget
 
@@ -117,7 +118,7 @@ class BootstrapPlanner:
                 f"parameters cannot decode p={p} even right after a bootstrap"
             )
 
-    def plan(self, program: list) -> BootstrapPlan:
+    def plan(self, program: Sequence[LinearOp]) -> BootstrapPlan:
         """Insert bootstraps so every op's output still decodes.
 
         Greedy rule: try the op on the current budget; if the result
@@ -129,7 +130,7 @@ class BootstrapPlanner:
         budget = NoiseBudget.fresh(self.params)
         if not budget.decodes_at(self.p, self.sigmas):
             budget = NoiseBudget.bootstrapped(self.params)
-        steps = []
+        steps: List[Tuple[str, bool]] = []
         bootstraps = 0
         for op in program:
             candidate = budget.weighted_sum(op.weights)

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..observability import REGISTRY as _METRICS, TRACER as _TRACER
-from .bootstrap import blind_rotate, key_switch, modulus_switch
+from ..observability import NOISE as _NOISE, REGISTRY as _METRICS, TRACER as _TRACER
+from .bootstrap import _track_bootstrap, blind_rotate, key_switch, modulus_switch
 from .glwe import sample_extract
 from .keys import KeySet
 from .lwe import (
@@ -64,6 +64,16 @@ def encrypt_bool(bit: int, keyset: KeySet, rng: np.random.Generator) -> LweCiphe
 
 def decrypt_bool(ct: LweCiphertext, keyset: KeySet) -> int:
     """Decrypt a ``+-1/8`` encoded bit by its sign."""
+    if _NOISE.enabled:
+        record = _NOISE.record_of(ct)
+        if record is not None:
+            # Sign decision boundaries sit at 0 and 1/2 on the torus.
+            e = record.expected / float(1 << 32)
+            e = e if e < 0.5 else 1.0 - e
+            _NOISE.record_failure_point(
+                "sign_decode", min(e, 0.5 - e), record.predicted_variance,
+                op_id=record.op_id,
+            )
     phase = int(lwe_decrypt_phase(ct, keyset.lwe_key))
     return 1 if phase < (1 << 31) else 0  # positive half-torus -> 1
 
@@ -85,10 +95,13 @@ def bootstrap_to_sign(ct: LweCiphertext, keyset: KeySet) -> LweCiphertext:
         a_tilde, b_tilde = modulus_switch(ct, params.N)
         # Gate outputs land at +-1/8 or +-3/8, a 1/8 margin from the
         # half-torus decision boundaries at 0 and 1/2 - noise budget enough.
-        acc = blind_rotate(a_tilde, b_tilde, _sign_test_polynomial(params), keyset)
+        test_poly = _sign_test_polynomial(params)
+        acc = blind_rotate(a_tilde, b_tilde, test_poly, keyset)
         extracted = sample_extract(acc, 0)
         result = key_switch(extracted, keyset.ksk)
     _GATE_BOOTSTRAPS.inc()
+    if _NOISE.enabled:
+        _track_bootstrap(result, ct, test_poly, keyset, "bootstrap_to_sign")
     return result
 
 

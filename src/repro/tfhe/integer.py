@@ -22,8 +22,10 @@ cost wide-integer workloads on the accelerator model.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
+from ..observability import NOISE as _NOISE
 from .lwe import LweCiphertext, lwe_add
 from .ops import TfheContext
 
@@ -41,6 +43,13 @@ __all__ = [
 #: Message modulus per digit ciphertext: padded half-space [0, 8) leaves
 #: room for digit sums with carries.
 DIGIT_P = 16
+
+_NULL = nullcontext()
+
+
+def _scope(label: str):
+    """Noise-telemetry label scope; the shared no-op when tracking is off."""
+    return _NOISE.labelled(label) if _NOISE.enabled else _NULL
 
 
 @dataclass
@@ -122,8 +131,9 @@ def add_integers(ctx: TfheContext, x: RadixInteger, y: RadixInteger) -> RadixInt
     """Homomorphic addition (mod ``base**num_digits``)."""
     if x.digit_bits != y.digit_bits or x.num_digits != y.num_digits:
         raise ValueError("operands must share the radix layout")
-    raw = [lwe_add(a, b) for a, b in zip(x.digits, y.digits)]
-    return _normalize(ctx, raw, x.digit_bits)
+    with _scope("int:add"):
+        raw = [lwe_add(a, b) for a, b in zip(x.digits, y.digits)]
+        return _normalize(ctx, raw, x.digit_bits)
 
 
 def scalar_mul_integer(ctx: TfheContext, scalar: int, x: RadixInteger) -> RadixInteger:
@@ -154,13 +164,14 @@ def equals_integer(ctx: TfheContext, x: RadixInteger, y: RadixInteger) -> LweCip
     """Bit ciphertext: 1 iff x == y (digit-wise compare + AND tree)."""
     if x.digit_bits != y.digit_bits or x.num_digits != y.num_digits:
         raise ValueError("operands must share the radix layout")
-    acc = None
-    for a, b in zip(x.digits, y.digits):
-        shifted = _shifted_difference(a, b, x.base)
-        eq_bit = ctx.apply_lut(shifted, lambda v: 1 if v == x.base else 0, DIGIT_P)
-        eq_bit = ctx._rescale_bit(eq_bit, DIGIT_P)
-        acc = eq_bit if acc is None else ctx.gate("and", acc, eq_bit)
-    return acc
+    with _scope("int:equals"):
+        acc = None
+        for a, b in zip(x.digits, y.digits):
+            shifted = _shifted_difference(a, b, x.base)
+            eq_bit = ctx.apply_lut(shifted, lambda v: 1 if v == x.base else 0, DIGIT_P)
+            eq_bit = ctx._rescale_bit(eq_bit, DIGIT_P)
+            acc = eq_bit if acc is None else ctx.gate("and", acc, eq_bit)
+        return acc
 
 
 def _shifted_difference(a: LweCiphertext, b: LweCiphertext, base: int) -> LweCiphertext:
@@ -180,21 +191,22 @@ def less_than_integer(ctx: TfheContext, x: RadixInteger, y: RadixInteger) -> Lwe
     """
     if x.digit_bits != y.digit_bits or x.num_digits != y.num_digits:
         raise ValueError("operands must share the radix layout")
-    result = None
-    for a, b in zip(x.digits, y.digits):
-        shifted = _shifted_difference(a, b, x.base)
-        lt_bit = ctx._rescale_bit(
-            ctx.apply_lut(shifted, lambda v: 1 if v < x.base else 0, DIGIT_P), DIGIT_P
-        )
-        eq_bit = ctx._rescale_bit(
-            ctx.apply_lut(shifted, lambda v: 1 if v == x.base else 0, DIGIT_P), DIGIT_P
-        )
-        if result is None:
-            result = lt_bit
-        else:
-            keep = ctx.gate("and", eq_bit, result)
-            result = ctx.gate("or", lt_bit, keep)
-    return result
+    with _scope("int:less_than"):
+        result = None
+        for a, b in zip(x.digits, y.digits):
+            shifted = _shifted_difference(a, b, x.base)
+            lt_bit = ctx._rescale_bit(
+                ctx.apply_lut(shifted, lambda v: 1 if v < x.base else 0, DIGIT_P), DIGIT_P
+            )
+            eq_bit = ctx._rescale_bit(
+                ctx.apply_lut(shifted, lambda v: 1 if v == x.base else 0, DIGIT_P), DIGIT_P
+            )
+            if result is None:
+                result = lt_bit
+            else:
+                keep = ctx.gate("and", eq_bit, result)
+                result = ctx.gate("or", lt_bit, keep)
+        return result
 
 
 def bootstrap_cost(operation: str, num_digits: int, scalar: int = 3) -> int:

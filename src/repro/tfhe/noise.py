@@ -24,6 +24,7 @@ __all__ = [
     "external_product_noise_variance",
     "blind_rotation_noise_variance",
     "key_switch_noise_variance",
+    "modulus_switch_noise_variance",
     "bootstrap_output_noise_std_log2",
     "max_noise_for_message_modulus",
     "measure_lwe_noise",
@@ -70,6 +71,24 @@ def key_switch_noise_variance(params: TFHEParams, input_variance: float) -> floa
     eps = float(params.beta_ks) ** (-params.l_k)
     decomp_term = kn * (eps ** 2) / 12.0
     return input_variance + digit_term + decomp_term
+
+
+def modulus_switch_noise_variance(params: TFHEParams) -> float:
+    """Variance (torus units) of the rounding error added by MS to ``2N``.
+
+    Each of the ``n + 1`` numerators rounds to the ``Z_{2N}`` grid with a
+    uniform error of width ``1/(2N)``; the ``a_i`` errors enter the phase
+    weighted by the key bits (E[s_i] = 1/2 for binary keys):
+
+    ``V_ms = (1/(2N))**2 / 12 * (1 + n/2)``
+
+    This error never shows up in the bootstrap *output* noise (the test
+    polynomial is piecewise constant over the ``Z_{2N}`` buckets) - it
+    widens the *decision* distribution that picks the bucket, so it
+    belongs in decryption-failure estimates, not output-noise prediction.
+    """
+    step = 1.0 / (2.0 * params.N)
+    return step * step / 12.0 * (1.0 + params.n / 2.0)
 
 
 def bootstrap_output_noise_std_log2(params: TFHEParams) -> float:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..observability import NOISE as _NOISE
 from ..params import TFHEParams
 from .bootstrap import BootstrapTrace, programmable_bootstrap
 from .encoding import make_test_polynomial, message_to_signed, signed_to_message
@@ -90,6 +91,18 @@ class TfheContext:
     def decrypt(self, ct: LweCiphertext, p: int = None) -> int:
         """Decrypt and decode back to ``Z_p``."""
         p = p or self.default_p
+        if _NOISE.enabled:
+            record = _NOISE.record_of(ct)
+            if record is not None:
+                # Decode rounds to the nearest multiple of q/p; the margin
+                # is half a step minus the shadow's offset from the grid.
+                scale = (1 << self.params.q_bits) // p
+                off = record.expected % scale
+                off = min(off, scale - off) / float(1 << self.params.q_bits)
+                _NOISE.record_failure_point(
+                    "decode", 0.5 / p - off, record.predicted_variance,
+                    op_id=record.op_id,
+                )
         phase = lwe_decrypt_phase(ct, self.keyset.lwe_key)
         return int(decode_message(np.asarray(phase), p, self.params.q_bits)[()])
 
@@ -119,6 +132,9 @@ class TfheContext:
             lut = GATE_LUTS[name]
         except KeyError:
             raise ValueError(f"unknown gate {name!r}; known: {sorted(GATE_LUTS)}") from None
+        if _NOISE.enabled:
+            with _NOISE.labelled(f"gate:{name}"):
+                return self.apply_lut(lwe_add(x, y), lut, p=8)
         return self.apply_lut(lwe_add(x, y), lut, p=8)
 
     def lwe_not(self, x: LweCiphertext) -> LweCiphertext:

@@ -7,6 +7,9 @@ Three modes, sharing one diagnostic pipeline:
   and run the program verifier over the resulting instruction streams;
 - ``--lint PATH...``: run the AST domain linter over source trees
   instead of compiled programs;
+- ``--binary FILE``: decode an :mod:`repro.core.isa_encoding` blob and
+  verify the decoded stream - the passes that need a config/params
+  degrade gracefully on a bare binary;
 - ``--list-rules``: print the combined rule catalog.
 
 ``--strict`` turns error findings into a non-zero exit status - the CI
@@ -22,7 +25,7 @@ from .diagnostics import VerifyReport
 from .lint import lint_paths, lint_rule_catalog
 from .program import program_rule_catalog, verify_stream
 
-__all__ = ["VerifyTarget", "shipped_targets", "verify_target", "run"]
+__all__ = ["VerifyTarget", "shipped_targets", "verify_target", "verify_binary", "run"]
 
 
 @dataclass(frozen=True)
@@ -105,12 +108,28 @@ def _render_catalog() -> str:
     return "\n".join(lines)
 
 
+def verify_binary(path: str) -> VerifyReport:
+    """Decode an ``isa_encoding`` blob from ``path`` and verify it.
+
+    Exercises the duck-typed pass path end to end: the decoded stream
+    carries no config or parameter set, so capacity/compatibility passes
+    that need them skip while the structural passes run in full.
+    """
+    from ..core.isa_encoding import decode_stream
+
+    with open(path, "rb") as fh:
+        data = fh.read()
+    stream = decode_stream(data)
+    return verify_stream(stream, subject=path)
+
+
 def run(
     lint: Optional[List[str]] = None,
     strict: bool = False,
     as_json: bool = False,
     list_rules: bool = False,
     target: Optional[str] = None,
+    binary: Optional[str] = None,
     _print: Callable[[str], None] = print,
 ) -> int:
     """Execute the verify command; returns the process exit code."""
@@ -119,6 +138,12 @@ def run(
         return 0
     if lint:
         reports = [lint_paths(lint)]
+    elif binary is not None:
+        try:
+            reports = [verify_binary(binary)]
+        except (OSError, ValueError) as exc:
+            _print(f"cannot verify {binary}: {exc}")
+            return 2
     else:
         targets = shipped_targets()
         if target is not None:

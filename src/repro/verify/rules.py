@@ -13,7 +13,9 @@ one module allowed to spell out raw reductions - it *defines* the
 discipline).  ``RPR003`` applies to all tfhe modules.  ``RPR004``
 applies everywhere except ``repro/transforms`` (which implements its own
 FFT precisely so nothing else imports ``numpy.fft``).  ``RPR005``
-applies package-wide.
+applies package-wide.  ``RPR006`` shares RPR001's scope: ``torus.py``
+owns the rounding conventions, so truncating divisions elsewhere are
+suspect.
 """
 
 from __future__ import annotations
@@ -188,3 +190,61 @@ def _global_rng(tree: ast.AST) -> Iterator[Tuple[int, str]]:
         yield (node.lineno,
                f"np.random.{node.func.attr}() draws from hidden global "
                f"state; use np.random.default_rng(seed)")
+
+
+# ----------------------------------------------------------------------
+# RPR006 - unchecked int() truncation of a torus division
+# ----------------------------------------------------------------------
+#: Calls whose results are already correctly rounded: wrapping a division
+#: in one of these before ``int()`` is the sanctioned pattern.
+ROUNDING_FUNCS = (
+    "round", "floor", "ceil", "rint",
+    "modswitch", "decode_message", "round_to_multiple",
+)
+
+
+def _is_rounding_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in ROUNDING_FUNCS
+    if isinstance(func, ast.Attribute):
+        return func.attr in ROUNDING_FUNCS
+    return False
+
+
+def _has_bare_division(node: ast.AST) -> bool:
+    """True when the subtree contains a ``/`` not guarded by a rounding call.
+
+    Floor division (``//``) stays exact in integer arithmetic and the
+    half-step-offset idiom ``(t + s // 2) // s`` is the *correct* decode
+    spelling, so only true division counts.
+    """
+    if _is_rounding_call(node):
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return True
+    return any(_has_bare_division(child) for child in ast.iter_child_nodes(node))
+
+
+@lint_rule(
+    "RPR006", "int-truncation",
+    "int() around a bare `/` division truncates toward zero instead of "
+    "rounding to nearest - the classic off-by-half-step decode bug; wrap "
+    "the division in round()/np.rint() or use the repro.tfhe.torus "
+    "helpers (modswitch, decode_message, round_to_multiple)",
+    applies=lambda s: s.in_tfhe and not s.is_torus,
+)
+def _int_truncation(tree: ast.AST) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "int"
+                and len(node.args) == 1
+                and not node.keywords
+                and _has_bare_division(node.args[0])):
+            yield (node.lineno,
+                   "int() truncation of a true division; torus decoding "
+                   "must round to nearest (round(), np.rint, or a "
+                   "repro.tfhe.torus helper)")

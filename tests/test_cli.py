@@ -190,3 +190,53 @@ class TestMetricsCommand:
 
         assert main(["metrics", "--set", "I"]) == 0
         assert not obs.is_enabled()
+
+
+class TestNoiseCommand:
+    def test_gates_workload_predicted_only(self, capsys):
+        assert main(["noise", "--workload", "gates"]) == 0
+        out = capsys.readouterr().out
+        assert "noise telemetry" in out
+        assert "programmable_bootstrap" in out
+        assert "unmeasured" in out  # no debug key without --measure
+        assert "within 2^-20 budget: yes" in out
+
+    def test_adder_workload_measured(self, capsys):
+        assert main(["noise", "--workload", "adder", "--measure"]) == 0
+        out = capsys.readouterr().out
+        assert "'carry': 1" in out  # 3 + 1 = 4 -> carry set
+        assert "ok" in out and "DRIFT" not in out
+        assert "log2(p_fail)" in out
+
+    def test_fail_prob_only_skips_the_drift_table(self, capsys):
+        assert main(["noise", "--workload", "gates", "--fail-prob"]) == 0
+        out = capsys.readouterr().out
+        assert "op class" not in out
+        assert "decision points" in out
+
+    def test_json_snapshot(self, capsys):
+        assert main(["noise", "--workload", "gates", "--measure",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["functional_ok"] is True
+        assert doc["noise"]["measured"] is True
+        assert doc["noise"]["records"]
+        assert all(d["within_envelope"] for d in doc["drift"])
+        assert doc["failure"]["total_log2_prob"] <= -20.0
+
+    def test_chrome_waterfall_export(self, capsys, tmp_path):
+        path = tmp_path / "noise.json"
+        assert main(["noise", "--workload", "gates", "--chrome",
+                     str(path)]) == 0
+        assert "noise waterfall" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert any(e.get("cat") == "noise" and e["ph"] == "X" for e in events)
+        assert any(e["ph"] in ("s", "f") for e in events)  # provenance flows
+
+    def test_tracker_left_disabled_after_run(self):
+        from repro import observability as obs
+
+        assert main(["noise", "--workload", "gates"]) == 0
+        assert not obs.NOISE.enabled
+        assert not obs.NOISE.measuring

@@ -9,7 +9,7 @@ def test_list_rules_prints_both_catalogs(capsys):
     assert main(["verify", "--list-rules"]) == 0
     out = capsys.readouterr().out
     assert "VER001" in out and "VER006" in out
-    assert "RPR001" in out and "RPR005" in out
+    assert "RPR001" in out and "RPR006" in out
 
 
 def test_single_target_verifies_clean(capsys):
@@ -53,6 +53,47 @@ def test_lint_suppressed_violation_passes_strict(tmp_path):
         "x = acc & 0xFFFFFFFF  # repro: allow[RPR001] exactness shown in docs\n"
     )
     assert main(["verify", "--strict", "--lint", str(tmp_path)]) == 0
+
+
+def _write_encoded_stream(path):
+    from repro.core.accelerator import MorphlingConfig
+    from repro.core.isa_encoding import encode_stream
+    from repro.core.scheduler import LayerDemand, SwScheduler
+    from repro.params import get_params
+
+    scheduler = SwScheduler(MorphlingConfig(), get_params("III"))
+    stream = scheduler.schedule([LayerDemand("l0", bootstraps=3)])
+    path.write_bytes(encode_stream(stream))
+    return stream
+
+
+def test_binary_blob_verifies_clean(tmp_path, capsys):
+    blob = tmp_path / "program.bin"
+    stream = _write_encoded_stream(blob)
+    assert len(stream) > 0
+    assert main(["verify", "--strict", "--binary", str(blob)]) == 0
+    out = capsys.readouterr().out
+    assert str(blob) in out and "clean" in out
+
+
+def test_binary_json_report_names_the_file(tmp_path, capsys):
+    blob = tmp_path / "program.bin"
+    _write_encoded_stream(blob)
+    assert main(["verify", "--json", "--binary", str(blob)]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["reports"][0]["subject"] == str(blob)
+
+
+def test_binary_missing_file_is_usage_error(tmp_path, capsys):
+    assert main(["verify", "--binary", str(tmp_path / "nope.bin")]) == 2
+    assert "cannot verify" in capsys.readouterr().out
+
+
+def test_binary_garbage_is_usage_error(tmp_path, capsys):
+    blob = tmp_path / "garbage.bin"
+    blob.write_bytes(b"\x00\x01not an instruction stream")
+    assert main(["verify", "--binary", str(blob)]) == 2
+    assert "cannot verify" in capsys.readouterr().out
 
 
 def test_repo_sources_lint_clean():

@@ -17,7 +17,8 @@ def lint(source, path=TFHE_PATH, rules=None):
 
 def test_catalog_has_all_rules():
     codes = [info.code for info in lint_rule_catalog()]
-    assert codes == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+    assert codes == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+                     "RPR006"]
 
 
 def test_syntax_error_reported_as_rpr000():
@@ -153,6 +154,59 @@ class TestRpr005GlobalRng:
             path=CORE_PATH,
             rules=["RPR005"],
         )
+        assert report.diagnostics == []
+
+
+class TestRpr006IntTruncation:
+    def test_bare_division_inside_int_caught(self):
+        report = lint("m = int(phase / step)\n", rules=["RPR006"])
+        assert not report.ok
+        assert report.errors[0].code == "RPR006"
+
+    def test_division_deeper_in_the_expression_caught(self):
+        report = lint("m = int((b - a) / (2 * step) + 1)\n", rules=["RPR006"])
+        assert not report.ok
+
+    def test_rounded_division_clean(self):
+        for spelling in (
+            "int(round(phase / step))",
+            "int(np.rint(phase / step))",
+            "int(math.floor(phase / step))",
+        ):
+            report = lint(f"m = {spelling}\n", rules=["RPR006"])
+            assert report.diagnostics == [], spelling
+
+    def test_torus_helpers_clean(self):
+        report = lint(
+            """\
+            m = int(modswitch(ct.a, 2 * N)[0])
+            v = int(decode_message(ct_b, p))
+            w = int(round_to_multiple(x, step))
+            """,
+            rules=["RPR006"],
+        )
+        assert report.diagnostics == []
+
+    def test_floor_division_is_exact_and_clean(self):
+        report = lint("m = int((t + s // 2) // s)\n", rules=["RPR006"])
+        assert report.diagnostics == []
+
+    def test_int_without_division_clean(self):
+        report = lint("m = int(test_poly[j])\n", rules=["RPR006"])
+        assert report.diagnostics == []
+
+    def test_division_outside_int_call_clean(self):
+        report = lint("delta = delta_num / float(1 << 32)\n", rules=["RPR006"])
+        assert report.diagnostics == []
+
+    def test_torus_module_itself_exempt(self):
+        report = lint("m = int(phase / step)\n", path=TORUS_PATH,
+                      rules=["RPR006"])
+        assert report.diagnostics == []
+
+    def test_out_of_scope_module_exempt(self):
+        report = lint("m = int(cycles / frequency)\n", path=CORE_PATH,
+                      rules=["RPR006"])
         assert report.diagnostics == []
 
 
