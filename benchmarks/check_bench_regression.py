@@ -12,6 +12,12 @@ Per-metric policy:
 - float metrics (``throughput_bs``, ``bootstrap_latency_ms``) compare
   within a relative tolerance (default 1%) - the models are analytic, so
   anything beyond numeric noise is a real behaviour change;
+- floor metrics (``speedup_batch16``) treat the baseline as a minimum the
+  current run must meet or beat - wall-clock speedups vary by machine, so
+  only a drop below the floor is a regression;
+- informational metrics (anything ending in ``_per_s``) are collected for
+  trend-watching but never compared - absolute throughput is
+  machine-dependent (both sides must still *have* the metric);
 - structural metrics (``bottleneck``, ``group_size``, reuse factors) and
   the perf-counter ``counters_digest`` must match exactly;
 - the entry sets and ``schema_version`` must match exactly (a missing or
@@ -35,6 +41,13 @@ DEFAULT_REL_TOL = 0.01
 #: Metrics compared within the relative tolerance; everything else in an
 #: entry (strings, counts, digests) must match exactly.
 TOLERANT_METRICS = ("throughput_bs", "bootstrap_latency_ms")
+
+#: Metrics where the baseline is a floor: current must be >= baseline.
+FLOOR_METRICS = ("speedup_batch16",)
+
+#: Metrics recorded for trend-watching only; values are never compared
+#: (wall-clock throughput is machine-dependent).
+INFORMATIONAL_SUFFIXES = ("_per_s",)
 
 
 def compare_documents(
@@ -64,7 +77,14 @@ def compare_documents(
                 violations.append(f"{name}.{metric}: missing from {side}")
                 continue
             b, c = base[metric], cur[metric]
-            if metric in TOLERANT_METRICS:
+            if metric.endswith(INFORMATIONAL_SUFFIXES):
+                continue
+            if metric in FLOOR_METRICS:
+                if float(c) < float(b):
+                    violations.append(
+                        f"{name}.{metric}: {c} below the {b} floor"
+                    )
+            elif metric in TOLERANT_METRICS:
                 scale = max(abs(float(b)), 1e-12)
                 rel = abs(float(c) - float(b)) / scale
                 if rel > rel_tol:

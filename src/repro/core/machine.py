@@ -26,10 +26,9 @@ import numpy as np
 
 from ..observability import COUNTERS as _COUNTERS
 from ..params import TFHEParams
-from ..tfhe.bootstrap import modulus_switch
-from ..tfhe.glwe import GlweCiphertext, glwe_trivial, sample_extract
+from ..tfhe.bootstrap import key_switch_batch, modulus_switch
+from ..tfhe.glwe import GlweCiphertext, glwe_trivial, sample_extract_batch
 from ..tfhe.keys import KeySet
-from ..tfhe.bootstrap import key_switch
 from ..tfhe.lwe import LweCiphertext
 from ..tfhe.torus import TORUS_DTYPE
 from .accelerator import MorphlingConfig
@@ -135,11 +134,12 @@ class MorphlingMachine:
         if counting:
             _COUNTERS.add_ops("machine/blind_rotations", len(accs))
             _COUNTERS.event("machine/stages", "sample_extract")
-        extracted = [sample_extract(acc, 0) for acc in accs]
+        ext_a, ext_b = sample_extract_batch(np.stack([acc.data for acc in accs]))
         if counting:
-            _COUNTERS.add_ops("machine/sample_extracts", len(extracted))
+            _COUNTERS.add_ops("machine/sample_extracts", len(accs))
             _COUNTERS.event("machine/stages", "key_switch")
-        out = [key_switch(ext, self.keyset.ksk) for ext in extracted]
+        out_a, out_b = key_switch_batch(ext_a, ext_b, self.keyset.ksk)
+        out = [LweCiphertext(out_a[r], out_b[r]) for r in range(len(accs))]
         if counting:
             _COUNTERS.add_ops("machine/key_switches", len(out))
         return out

@@ -23,11 +23,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..params import TFHEParams
-from ..tfhe.decomposition import decompose
-from ..tfhe.ggsw import GgswCiphertext
+from ..tfhe.ggsw import GgswCiphertext, external_product_spectrum_batch
 from ..tfhe.glwe import GlweCiphertext
-from ..tfhe.polynomial import from_spectrum
-from ..transforms.negacyclic import negacyclic_fft
 from .accelerator import MorphlingConfig
 
 __all__ = ["ArrayMapping", "map_external_product", "VpeArray"]
@@ -95,6 +92,12 @@ class VpeArray:
         BSK column spectra stream top-to-bottom and are *shared by all
         rows* - the BSK reuse the paper exploits.  Output accumulators
         leave the array through one inverse transform per column.
+
+        The MAC itself is the scheme substrate's shared batched einsum
+        kernel (:func:`~repro.tfhe.ggsw.external_product_spectrum_batch`):
+        the functional machine and the scheme path execute literally the
+        same contraction, with the array model contributing the
+        row/column capacity checks.
         """
         if len(acc_inputs) > self.rows:
             raise ValueError(
@@ -105,18 +108,11 @@ class VpeArray:
             raise ValueError(
                 f"k+1 = {k + 1} output columns exceed {self.cols} array columns"
             )
-        row_spec = ggsw.spectrum()
-        outputs = []
         for glwe in acc_inputs:
             if glwe.N != ggsw.N or glwe.k != k:
                 raise ValueError("GLWE operand does not match the GGSW")
-            digits = decompose(glwe.data, ggsw.beta_bits, l_b)
-            digit_spec = negacyclic_fft(digits.astype(np.float64))
-            # Column-parallel accumulation: POLY-ACC-REG per (row, col).
-            acc = np.zeros((k + 1, ggsw.N // 2), dtype=np.complex128)
-            for i in range(k + 1):
-                for j in range(l_b):
-                    acc += digit_spec[i, j][None, :] * row_spec[i * l_b + j]
-            out = np.stack([from_spectrum(acc[c], ggsw.N) for c in range(k + 1)])
-            outputs.append(GlweCiphertext(out))
-        return outputs
+        stacked = np.stack([glwe.data for glwe in acc_inputs])
+        out = external_product_spectrum_batch(
+            ggsw.spectrum(), stacked, ggsw.beta_bits, l_b
+        )
+        return [GlweCiphertext(out[r]) for r in range(len(acc_inputs))]

@@ -14,7 +14,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .bootstrap import BootstrapTrace, programmable_bootstrap
+from typing import Optional
+
+from .bootstrap import BootstrapTrace, programmable_bootstrap, programmable_bootstrap_batch
 from .keys import KeySet
 from .lwe import LweCiphertext, LweSecretKey, gaussian_torus_noise
 from .torus import (
@@ -136,21 +138,29 @@ def bootstrap_batch(
     keyset: KeySet,
     group_size: int = 64,
     engine: str = "transform",
-    trace: BootstrapTrace = None,
+    trace: Optional[BootstrapTrace] = None,
 ) -> LweBatch:
     """Bootstrap every ciphertext, processed in scheduler-shaped groups.
 
-    Functionally each bootstrap is independent; grouping matters only for
-    the shared trace accounting (it mirrors how the HW scheduler batches
-    64 LWE ciphertexts per instruction group).
+    Each group runs through the vectorized
+    :func:`~repro.tfhe.bootstrap.programmable_bootstrap_batch` kernel
+    (one BSK pass shared by the whole group, mirroring how the HW
+    scheduler streams 64 LWE ciphertexts through the VPE rows).  Results
+    are bit-identical for every ``group_size``.  The reference engines
+    (``"fft"``/``"exact"``) keep the per-sample path.
     """
     if group_size < 1:
         raise ValueError("group_size must be >= 1")
     outputs = []
     for start in range(0, batch.size, group_size):
         group = [batch[i] for i in range(start, min(start + group_size, batch.size))]
-        outputs.extend(
-            programmable_bootstrap(ct, test_poly, keyset, engine=engine, trace=trace)
-            for ct in group
-        )
+        if engine == "transform":
+            outputs.extend(
+                programmable_bootstrap_batch(group, test_poly, keyset, trace=trace)
+            )
+        else:
+            outputs.extend(
+                programmable_bootstrap(ct, test_poly, keyset, engine=engine, trace=trace)
+                for ct in group
+            )
     return LweBatch.from_ciphertexts(outputs)

@@ -155,12 +155,29 @@ class Circuit:
         return {name: values[nid] for name, nid in self._outputs.items()}
 
     def evaluate_encrypted(self, ctx: TfheContext, inputs: dict) -> dict:
-        """Evaluate on ciphertexts; inputs map names to bit ciphertexts."""
+        """Evaluate on ciphertexts; inputs map names to bit ciphertexts.
+
+        Gates are evaluated level by level: every gate within a
+        topological level is independent, so one level becomes a single
+        batched bootstrap sharing each BSK row - the SW-scheduler
+        parallelism executed for real.  Linear nodes (inputs, constants,
+        NOTs) resolve between levels.  Bit-identical to the node-by-node
+        evaluation.
+        """
         from .lwe import lwe_trivial
         from .torus import encode_message
 
         values = {}
-        for node_id, node in enumerate(self._nodes):
+
+        def _annotate(node_id: int) -> None:
+            if _NOISE.enabled:
+                # Tie the provenance record back to the circuit DAG so the
+                # noise waterfall reads in circuit terms, not op soup.
+                record = _NOISE.record_of(values[node_id])
+                if record is not None:
+                    record.meta.setdefault("circuit_node", node_id)
+
+        def _eval_linear(node_id: int, node: _Node) -> None:
             if node.kind == "input":
                 try:
                     values[node_id] = inputs[node.name]
@@ -169,17 +186,36 @@ class Circuit:
             elif node.kind == "const":
                 enc = int(encode_message(node.value, 8, ctx.params.q_bits)[()])
                 values[node_id] = lwe_trivial(enc, ctx.params.n)
-            elif node.kind == "not":
+            else:  # "not"
                 values[node_id] = ctx.lwe_not(values[node.operands[0]])
+            _annotate(node_id)
+
+        depth = {}
+        by_depth = {}
+        for node_id, node in enumerate(self._nodes):
+            if node.kind in ("input", "const"):
+                d = 0
+            elif node.kind == "not":
+                d = depth[node.operands[0]]
             else:
-                a, b = (values[o] for o in node.operands)
-                values[node_id] = ctx.gate(node.op, a, b)
-            if _NOISE.enabled:
-                # Tie the provenance record back to the circuit DAG so the
-                # noise waterfall reads in circuit terms, not op soup.
-                record = _NOISE.record_of(values[node_id])
-                if record is not None:
-                    record.meta.setdefault("circuit_node", node_id)
+                d = 1 + max(depth[o] for o in node.operands)
+            depth[node_id] = d
+            by_depth.setdefault(d, []).append(node_id)
+
+        for d in sorted(by_depth):
+            gate_ids = [nid for nid in by_depth[d]
+                        if self._nodes[nid].kind == "gate"]
+            if gate_ids:
+                names = [self._nodes[nid].op for nid in gate_ids]
+                ops_a = [values[self._nodes[nid].operands[0]] for nid in gate_ids]
+                ops_b = [values[self._nodes[nid].operands[1]] for nid in gate_ids]
+                for nid, out in zip(gate_ids, ctx.gate_batch(names, ops_a, ops_b)):
+                    values[nid] = out
+                    _annotate(nid)
+            # Linear nodes in construction order: operands always precede.
+            for nid in by_depth[d]:
+                if self._nodes[nid].kind != "gate":
+                    _eval_linear(nid, self._nodes[nid])
         return {name: values[nid] for name, nid in self._outputs.items()}
 
 

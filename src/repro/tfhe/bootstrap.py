@@ -13,18 +13,27 @@ The four stages map one-to-one onto Morphling's hardware:
 :func:`programmable_bootstrap` composes them and optionally records
 per-stage operation counts through a :class:`BootstrapTrace` so the
 analysis layer (Fig. 1) can account real executions rather than formulas.
+
+The execution path is *batch-first*: :func:`blind_rotate_batch` runs ``B``
+independent accumulators through every BSK row together - the software
+analogue of the paper's 2D VPE array, where each row processes a
+different bootstrap against the shared, pre-transformed BSK entry.  The
+scalar entry points are batch-of-one views of the same kernel, so scalar
+and batched results are bit-identical in the default double-precision
+mode.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..observability import NOISE as _NOISE, REGISTRY as _METRICS, TRACER as _TRACER
 from .decomposition import decompose
-from .ggsw import cmux
-from .glwe import GlweCiphertext, glwe_rotate, glwe_trivial, sample_extract
+from .ggsw import cmux, external_product_spectrum_batch
+from .glwe import GlweCiphertext, glwe_rotate, glwe_trivial, sample_extract, sample_extract_batch
 from .keys import KeySet, KeySwitchingKey
 from .lwe import LweCiphertext
 from .noise import (
@@ -32,14 +41,18 @@ from .noise import (
     key_switch_noise_variance,
     modulus_switch_noise_variance,
 )
-from .torus import modswitch, to_signed, to_torus, u32
+from .polynomial import monomial_rotate_batch
+from .torus import TORUS_DTYPE, modswitch, to_signed, to_torus, u32
 
 __all__ = [
     "BootstrapTrace",
     "modulus_switch",
     "blind_rotate",
+    "blind_rotate_batch",
     "key_switch",
+    "key_switch_batch",
     "programmable_bootstrap",
+    "programmable_bootstrap_batch",
 ]
 
 _BOOTSTRAPS = _METRICS.counter(
@@ -83,20 +96,95 @@ def modulus_switch(ct: LweCiphertext, N: int) -> tuple:
     return a_tilde, b_tilde
 
 
+def blind_rotate_batch(
+    a_tilde: np.ndarray,
+    b_tilde: np.ndarray,
+    test_polys: np.ndarray,
+    keyset: KeySet,
+    trace: Optional[BootstrapTrace] = None,
+    precision: str = "double",
+) -> np.ndarray:
+    """Blind-rotate ``B`` independent accumulators through one BSK pass.
+
+    ``a_tilde`` has shape ``(B, n)`` and ``b_tilde`` shape ``(B,)`` (both
+    already modulus-switched to ``Z_{2N}``); ``test_polys`` is ``(N,)``
+    (shared) or ``(B, N)`` (per-sample LUTs).  Returns the ``(B, k+1, N)``
+    accumulator data.
+
+    Per BSK row ``i`` the samples whose digit ``a~_i`` is non-zero are
+    gathered, rotated-and-differenced in one fused gather (no intermediate
+    :class:`GlweCiphertext` copies), and pushed through the shared einsum
+    external-product kernel against the eagerly transformed BSK entry -
+    exactly the 2D VPE-array schedule: one BSK row amortized over all
+    in-flight bootstraps.  ``precision`` picks the BSK table mode
+    (``"double"`` is bit-identical to the scalar path; ``"single"`` keeps
+    the MAC in complex64, see :meth:`KeySet.bsk_spectrum_table`).
+    """
+    params = keyset.params
+    k, l_b, n_poly = params.k, params.l_b, params.N
+    a_tilde = np.asarray(a_tilde, dtype=np.int64)
+    batch = a_tilde.shape[0]
+    table = keyset.bsk_spectrum_table(precision)
+    tp = np.broadcast_to(np.asarray(test_polys, dtype=TORUS_DTYPE), (batch, n_poly))
+    acc = np.zeros((batch, k + 1, n_poly), dtype=TORUS_DTYPE)
+    acc[:, k, :] = monomial_rotate_batch(tp, -np.asarray(b_tilde, dtype=np.int64))
+    total_steps = 0
+    for i in range(params.n):
+        t = a_tilde[:, i]
+        active = np.nonzero(t)[0]
+        steps = int(active.size)
+        if steps == 0:
+            continue
+        sub = acc if steps == batch else acc[active]
+        # Fused rotate-diff: diff = X^{a~_i} * ACC - ACC in one gather.
+        diff = monomial_rotate_batch(sub, t[active, None])
+        diff -= sub
+        update = external_product_spectrum_batch(
+            table[i], diff, params.beta_bits, l_b
+        )
+        if steps == batch:
+            acc += update
+        else:
+            acc[active] = sub + update
+        total_steps += steps
+        if trace is not None:
+            trace.external_products += steps
+            trace.rotations += steps
+            trace.forward_transforms += steps * (k + 1) * l_b
+            trace.inverse_transforms += steps * (k + 1)
+            trace.pointwise_mult_polys += steps * (k + 1) ** 2 * l_b
+    if total_steps and _METRICS.enabled:
+        _BR_STEPS.inc(total_steps)
+        _EXTERNAL_PRODUCTS.inc(total_steps, engine="transform")
+    return acc
+
+
 def blind_rotate(
     a_tilde: np.ndarray,
     b_tilde: int,
     test_poly: np.ndarray,
     keyset: KeySet,
     engine: str = "transform",
-    trace: BootstrapTrace = None,
+    trace: Optional[BootstrapTrace] = None,
 ) -> GlweCiphertext:
     """Blind rotation: ACC <- X^{-b~} * TP, then ``n`` CMux iterations.
 
     After the loop the accumulator holds ``X^{-phase} * TP`` where
     ``phase = b~ - sum a~_i s_i`` - the noisy encoded message in ``Z_{2N}``.
+    The default ``"transform"`` engine is a batch-of-one view of
+    :func:`blind_rotate_batch`; the ``"fft"``/``"exact"`` reference
+    engines keep the per-CMux loop.
     """
     params = keyset.params
+    if engine == "transform":
+        acc_batch = blind_rotate_batch(
+            np.asarray(a_tilde, dtype=np.int64)[None, :],
+            np.asarray([b_tilde], dtype=np.int64),
+            np.asarray(test_poly, dtype=TORUS_DTYPE),
+            keyset,
+            trace=trace,
+        )
+        return GlweCiphertext(acc_batch[0])
     acc = glwe_trivial(test_poly, params.k)
     acc = glwe_rotate(acc, -b_tilde)
     steps = 0
@@ -119,27 +207,50 @@ def blind_rotate(
     return acc
 
 
+def key_switch_batch(
+    a: np.ndarray,
+    b: np.ndarray,
+    ksk: KeySwitchingKey,
+    trace: Optional[BootstrapTrace] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Switch ``B`` extracted LWE samples back to the original key.
+
+    ``a`` has shape ``(B, kN)``, ``b`` shape ``(B,)``.  The KSK
+    contraction runs as one einsum, ``out = -sum_{m,j} d[b,m,j] *
+    KSK[m,j]``, which streams the uint32 KSK through the buffered
+    iterator - no ``(kN, l_k, n)`` int64 intermediate is ever
+    materialized (the old broadcast-multiply peaked at hundreds of MB on
+    the secure sets).  Exact integer arithmetic: |digit| <= beta_ks/2 and
+    kN*l_k terms of < 2^32 keep the int64 accumulator far from overflow.
+    """
+    a = np.asarray(a, dtype=TORUS_DTYPE)
+    if a.shape[-1] != ksk.in_dimension:
+        raise ValueError("ciphertext dimension does not match KSK input dimension")
+    digits = decompose(a, ksk.beta_ks_bits, ksk.l_k)  # (B, l_k, kN)
+    d64 = digits.transpose(0, 2, 1)  # (B, kN, l_k)
+    mask_acc = -np.einsum("bml,mln->bn", d64, ksk.masks)
+    body_acc = np.asarray(b).astype(np.int64) - np.einsum("bml,ml->b", d64, ksk.bodies)
+    if trace is not None:
+        trace.ks_scalar_mults += int(digits.size) * (ksk.out_dimension + 1)
+    _KEY_SWITCHES.inc(a.shape[0])
+    return to_torus(mask_acc), to_torus(body_acc)
+
+
 def key_switch(
     ct: LweCiphertext,
     ksk: KeySwitchingKey,
-    trace: BootstrapTrace = None,
+    trace: Optional[BootstrapTrace] = None,
 ) -> LweCiphertext:
     """Switch an extracted LWE ciphertext back to the original key.
 
     ``c'' = (0, ..., b') - sum_i sum_j Decomp(a'_i)_j * KSK_(i,j)``
-    (Algorithm 1, line 6), fully vectorized over the ``k*N`` input masks.
+    (Algorithm 1, line 6), a batch-of-one view of
+    :func:`key_switch_batch`.
     """
-    if ct.n != ksk.in_dimension:
-        raise ValueError("ciphertext dimension does not match KSK input dimension")
-    digits = decompose(ct.a[None, :], ksk.beta_ks_bits, ksk.l_k)[0]  # (l_k, kN)
-    digits = digits.T  # (kN, l_k)
-    d64 = digits.astype(np.int64)
-    mask_acc = -(d64[:, :, None] * ksk.masks.astype(np.int64)).sum(axis=(0, 1))
-    body_acc = np.int64(ct.b) - (d64 * ksk.bodies.astype(np.int64)).sum()
-    if trace is not None:
-        trace.ks_scalar_mults += int(digits.size) * (ksk.out_dimension + 1)
-    _KEY_SWITCHES.inc()
-    return LweCiphertext(to_torus(mask_acc), to_torus(body_acc)[()])
+    out_a, out_b = key_switch_batch(
+        ct.a[None, :], np.asarray([ct.b]), ksk, trace=trace
+    )
+    return LweCiphertext(out_a[0], out_b[0])
 
 
 def _negacyclic_lookup(test_poly: np.ndarray, j: int, N: int) -> int:
@@ -204,13 +315,13 @@ def programmable_bootstrap(
     test_poly: np.ndarray,
     keyset: KeySet,
     engine: str = "transform",
-    trace: BootstrapTrace = None,
+    trace: Optional[BootstrapTrace] = None,
 ) -> LweCiphertext:
     """Full programmable bootstrap of one LWE ciphertext (Algorithm 1).
 
     ``engine`` picks the external-product datapath: ``"transform"``
-    (Morphling's reuse datapath), ``"fft"`` (per-product transforms) or
-    ``"exact"`` (integer reference).
+    (Morphling's reuse datapath, shared with the batched pipeline),
+    ``"fft"`` (per-product transforms) or ``"exact"`` (integer reference).
     """
     params = keyset.params
     with _TRACER.span("programmable_bootstrap", category="tfhe",
@@ -227,3 +338,59 @@ def programmable_bootstrap(
     if _NOISE.enabled:
         _track_bootstrap(result, ct, test_poly, keyset, "programmable_bootstrap")
     return result
+
+
+def programmable_bootstrap_batch(
+    cts: Sequence[LweCiphertext],
+    test_polys: np.ndarray,
+    keyset: KeySet,
+    trace: Optional[BootstrapTrace] = None,
+    precision: str = "double",
+    noise_labels: Optional[Sequence[str]] = None,
+) -> List[LweCiphertext]:
+    """Bootstrap ``B`` independent LWE ciphertexts through one batched pass.
+
+    ``test_polys`` is one shared ``(N,)`` LUT or a per-sample ``(B, N)``
+    stack (the multi-LUT case: independent bootstraps, each with its own
+    test polynomial, sharing every BSK row).  All four stages run
+    vectorized over the batch; in the default ``"double"`` precision the
+    outputs are bit-identical to ``B`` scalar :func:`programmable_bootstrap`
+    calls.  The noise tracker shadows every sample individually
+    (``noise_labels`` optionally tags sample ``r``'s records, so batched
+    gates report the same per-gate provenance as scalar ones).
+    """
+    cts = list(cts)
+    batch = len(cts)
+    if batch == 0:
+        return []
+    params = keyset.params
+    a = np.stack([ct.a for ct in cts])
+    b = np.asarray([ct.b for ct in cts], dtype=TORUS_DTYPE)
+    tps = np.asarray(test_polys, dtype=TORUS_DTYPE)
+    with _TRACER.span("programmable_bootstrap_batch", category="tfhe",
+                      batch=batch, n=params.n, N=params.N, precision=precision):
+        a_tilde = modswitch(a, 2 * params.N)
+        b_tilde = modswitch(b, 2 * params.N)
+        if trace is not None:
+            trace.ms_operations += batch * (params.n + 1)
+        acc = blind_rotate_batch(
+            a_tilde, b_tilde, tps, keyset, trace=trace, precision=precision
+        )
+        ext_a, ext_b = sample_extract_batch(acc)
+        out_a, out_b = key_switch_batch(ext_a, ext_b, keyset.ksk, trace=trace)
+    _BOOTSTRAPS.inc(batch)
+    results = [LweCiphertext(out_a[r], out_b[r]) for r in range(batch)]
+    if _NOISE.enabled:
+        tp_rows = np.broadcast_to(tps, (batch, params.N))
+        for r in range(batch):
+            if noise_labels is not None:
+                with _NOISE.labelled(noise_labels[r]):
+                    _track_bootstrap(
+                        results[r], cts[r], tp_rows[r], keyset,
+                        "programmable_bootstrap",
+                    )
+            else:
+                _track_bootstrap(
+                    results[r], cts[r], tp_rows[r], keyset, "programmable_bootstrap"
+                )
+    return results

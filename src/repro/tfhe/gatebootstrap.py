@@ -18,8 +18,15 @@ from __future__ import annotations
 import numpy as np
 
 from ..observability import NOISE as _NOISE, REGISTRY as _METRICS, TRACER as _TRACER
-from .bootstrap import _track_bootstrap, blind_rotate, key_switch, modulus_switch
-from .glwe import sample_extract
+from .bootstrap import (
+    _track_bootstrap,
+    blind_rotate,
+    blind_rotate_batch,
+    key_switch,
+    key_switch_batch,
+    modulus_switch,
+)
+from .glwe import sample_extract, sample_extract_batch
 from .keys import KeySet
 from .lwe import (
     LweCiphertext,
@@ -29,12 +36,13 @@ from .lwe import (
     lwe_encrypt,
     lwe_neg,
 )
-from .torus import TORUS_DTYPE, to_torus, u32
+from .torus import TORUS_DTYPE, modswitch, to_torus, u32
 
 __all__ = [
     "encrypt_bool",
     "decrypt_bool",
     "bootstrap_to_sign",
+    "bootstrap_to_sign_batch",
     "nand_gate",
     "and_gate",
     "or_gate",
@@ -105,15 +113,50 @@ def bootstrap_to_sign(ct: LweCiphertext, keyset: KeySet) -> LweCiphertext:
     return result
 
 
-def _gate(offset_eighths: int, terms: list, keyset: KeySet,
-          name: str = "gate") -> LweCiphertext:
-    _GATES.inc(gate=name)
+def bootstrap_to_sign_batch(cts: list, keyset: KeySet) -> list:
+    """Sign-refresh several independent ``+-1/8`` ciphertexts in one pass.
+
+    One batched MS -> BR -> SE -> KS with the shared constant test
+    polynomial: every BSK row is applied to all samples together (the 2D
+    VPE-array schedule), bit-identical to per-sample
+    :func:`bootstrap_to_sign` calls.
+    """
+    cts = list(cts)
+    if not cts:
+        return []
+    params = keyset.params
+    with _TRACER.span("bootstrap_to_sign_batch", category="tfhe",
+                      batch=len(cts), n=params.n):
+        a = np.stack([ct.a for ct in cts])
+        b = np.asarray([ct.b for ct in cts], dtype=TORUS_DTYPE)
+        test_poly = _sign_test_polynomial(params)
+        acc = blind_rotate_batch(
+            modswitch(a, 2 * params.N), modswitch(b, 2 * params.N),
+            test_poly, keyset,
+        )
+        ext_a, ext_b = sample_extract_batch(acc)
+        out_a, out_b = key_switch_batch(ext_a, ext_b, keyset.ksk)
+    _GATE_BOOTSTRAPS.inc(len(cts))
+    results = [LweCiphertext(out_a[r], out_b[r]) for r in range(len(cts))]
+    if _NOISE.enabled:
+        for res, ct in zip(results, cts):
+            _track_bootstrap(res, ct, test_poly, keyset, "bootstrap_to_sign")
+    return results
+
+
+def _gate_linear(offset_eighths: int, terms: list) -> LweCiphertext:
+    """The linear half of a CGGI gate: signed sum plus an ``m/8`` offset."""
     acc = None
     for sign, ct in terms:
         signed = ct if sign > 0 else lwe_neg(ct)
         acc = signed if acc is None else lwe_add(acc, signed)
-    acc = lwe_add_plain(acc, int(to_torus(offset_eighths * _EIGHTH)[()]))
-    return bootstrap_to_sign(acc, keyset)
+    return lwe_add_plain(acc, int(to_torus(offset_eighths * _EIGHTH)[()]))
+
+
+def _gate(offset_eighths: int, terms: list, keyset: KeySet,
+          name: str = "gate") -> LweCiphertext:
+    _GATES.inc(gate=name)
+    return bootstrap_to_sign(_gate_linear(offset_eighths, terms), keyset)
 
 
 def nand_gate(a: LweCiphertext, b: LweCiphertext, keyset: KeySet) -> LweCiphertext:
@@ -153,8 +196,16 @@ def not_gate(a: LweCiphertext) -> LweCiphertext:
 def mux_gate(
     sel: LweCiphertext, when1: LweCiphertext, when0: LweCiphertext, keyset: KeySet
 ) -> LweCiphertext:
-    """``MUX = OR(AND(sel, when1), AND(NOT sel, when0))`` (three bootstraps)."""
+    """``MUX = OR(AND(sel, when1), AND(NOT sel, when0))`` (three bootstraps).
+
+    The two AND branches are independent, so their sign bootstraps run as
+    one batch of two sharing each BSK row; the OR depends on both and
+    bootstraps alone.
+    """
     _GATES.inc(gate="mux")
-    take1 = and_gate(sel, when1, keyset)
-    take0 = and_gate(not_gate(sel), when0, keyset)
+    _GATES.inc(gate="and")
+    _GATES.inc(gate="and")
+    lin1 = _gate_linear(-1, [(1, sel), (1, when1)])
+    lin0 = _gate_linear(-1, [(1, not_gate(sel)), (1, when0)])
+    take1, take0 = bootstrap_to_sign_batch([lin1, lin0], keyset)
     return or_gate(take1, take0, keyset)

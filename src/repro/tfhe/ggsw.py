@@ -20,6 +20,7 @@ Two functional engines are provided, mirroring the hardware exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -34,6 +35,7 @@ __all__ = [
     "ggsw_encrypt",
     "external_product",
     "external_product_transform",
+    "external_product_spectrum_batch",
     "cmux",
 ]
 
@@ -50,7 +52,7 @@ class GgswCiphertext:
 
     rows: np.ndarray
     beta_bits: int
-    _spectrum: np.ndarray = None
+    _spectrum: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         self.rows = np.asarray(self.rows, dtype=TORUS_DTYPE)
@@ -128,29 +130,68 @@ def external_product(ggsw: GgswCiphertext, glwe: GlweCiphertext, engine: str = "
     return GlweCiphertext(to_torus(acc))
 
 
+def external_product_spectrum_batch(
+    row_spec: np.ndarray,
+    glwe_data: np.ndarray,
+    beta_bits: int,
+    l_b: int,
+) -> np.ndarray:
+    """Batched ``GGSW boxdot GLWE`` against a pre-transformed row stack.
+
+    The shared kernel behind every transform-engine external product:
+
+    - ``row_spec``: ``((k+1)*l_b, k+1, N/2)`` complex spectra of one GGSW's
+      rows (:meth:`GgswCiphertext.spectrum` or a slice of the eager BSK
+      table);
+    - ``glwe_data``: ``(B, k+1, N)`` torus data of ``B`` independent GLWE
+      accumulators sharing that GGSW - the software analogue of one BSK
+      row fanned across the VPE-array rows.
+
+    One batched forward transform of all ``B*(k+1)*l_b`` decomposed digits
+    (Input reuse), a single einsum contraction over ``(component, level)``
+    per frequency bin (the VPE pointwise MACs with Output reuse in the
+    POLY-ACC-REG), and one batched inverse transform for all ``B*(k+1)``
+    outputs.  No Python loops anywhere in the MAC.
+
+    The contraction inherits ``row_spec``'s precision: a ``complex64``
+    table runs the whole MAC in single precision.  With the default
+    ``complex128`` table the result is bit-identical for every batch size
+    (the reduction order over ``(i, j)`` is fixed and the transforms are
+    elementwise along the batch axes).
+
+    Returns ``(B, k+1, N)`` torus data.
+    """
+    n = glwe_data.shape[-1]
+    kp1 = glwe_data.shape[-2]
+    digits = decompose(glwe_data, beta_bits, l_b)  # (B, k+1, l_b, N) int64
+    # repro: allow[RPR003] single-precision mode is a declared FFT boundary: the
+    # digits are small centered ints, exactly representable in float32
+    real_dtype = np.float32 if row_spec.dtype == np.complex64 else np.float64
+    # repro: allow[RPR002] declared FFT boundary: decomposed digits are small signed ints
+    digit_spec = negacyclic_fft(digits.astype(real_dtype))  # (B, k+1, l_b, N/2)
+    rows = row_spec.reshape(kp1, l_b, kp1, n // 2)
+    acc_spec = np.einsum(
+        "aijf,ijcf->acf", digit_spec, rows, optimize=False
+    )  # (B, k+1, N/2)
+    return from_spectrum(acc_spec, n)
+
+
 def external_product_transform(ggsw: GgswCiphertext, glwe: GlweCiphertext) -> GlweCiphertext:
     """``GGSW boxdot GLWE`` via Morphling's transform-domain datapath.
 
     Forward-transform the ``(k+1)*l_b`` decomposed digits once (Input
     reuse), accumulate all pointwise products per output component in the
     transform domain (Output reuse - the POLY-ACC-REG), then inverse
-    transform each of the ``k+1`` outputs exactly once.
+    transform each of the ``k+1`` outputs exactly once.  Runs as a
+    batch-of-one through :func:`external_product_spectrum_batch` so the
+    scalar and batched paths share one kernel.
     """
     if ggsw.N != glwe.N or ggsw.k != glwe.k:
         raise ValueError("GGSW/GLWE dimensions do not match")
-    digits = _decompose_glwe(glwe, ggsw.beta_bits, ggsw.l_b)
-    k, l_b, n = ggsw.k, ggsw.l_b, ggsw.N
-    # repro: allow[RPR002] declared FFT boundary: decomposed digits are small signed ints
-    digit_spec = negacyclic_fft(digits.astype(np.float64))  # (k+1, l_b, N/2)
-    row_spec = ggsw.spectrum()  # ((k+1)*l_b, k+1, N/2)
-    out = np.empty((k + 1, n), dtype=TORUS_DTYPE)
-    for c in range(k + 1):
-        acc_spec = np.zeros(n // 2, dtype=np.complex128)
-        for i in range(k + 1):
-            for j in range(l_b):
-                acc_spec += digit_spec[i, j] * row_spec[i * l_b + j, c]
-        out[c] = from_spectrum(acc_spec, n)
-    return GlweCiphertext(out)
+    out = external_product_spectrum_batch(
+        ggsw.spectrum(), glwe.data[None], ggsw.beta_bits, ggsw.l_b
+    )
+    return GlweCiphertext(out[0])
 
 
 def cmux(

@@ -27,6 +27,7 @@ __all__ = [
     "glwe_sub",
     "glwe_rotate",
     "sample_extract",
+    "sample_extract_batch",
 ]
 
 
@@ -99,16 +100,24 @@ def glwe_keygen(k: int, N: int, rng: np.random.Generator) -> GlweSecretKey:
 
 
 def _key_mask_product(masks: np.ndarray, key: GlweSecretKey) -> np.ndarray:
-    """Exact ``sum_i A_i * S_i`` with binary ``S_i`` (int64, negacyclic)."""
+    """Exact ``sum_i A_i * S_i`` with binary ``S_i`` (int64, negacyclic).
+
+    Vectorized over the key's one-bits: the negacyclic shift by ``j`` is
+    the window ``[n-j, 2n-j)`` of ``concat(-a, a)``, so all shifts of one
+    mask become a single gather + sum.  Bit-identical to the per-shift
+    loop (exact integer sums in a different order).
+    """
     n = masks.shape[-1]
     acc = np.zeros(n, dtype=np.int64)
-    centered = masks.astype(np.int64)
+    a64 = masks.astype(np.int64)
+    base = np.arange(n, dtype=np.int64)
     for i in range(key.k):
-        s = key.polys[i]
-        ones = np.nonzero(s)[0]
-        a = centered[i]
-        for j in ones:
-            acc += np.concatenate((-a[n - j:], a[: n - j])) if j else a
+        ones = np.nonzero(key.polys[i])[0]
+        if ones.size == 0:
+            continue
+        ext = np.concatenate((-a64[i], a64[i]))
+        idx = (n - ones)[:, None] + base[None, :]
+        acc += ext[idx].sum(axis=0)
     return acc
 
 
@@ -175,3 +184,20 @@ def sample_extract(ct: GlweCiphertext, coefficient: int = 0) -> LweCiphertext:
         rolled = np.concatenate((masks[i, h::-1], -masks[i, :h:-1]))
         a[i] = rolled
     return LweCiphertext(to_torus(a.reshape(-1)), ct.body[h])
+
+
+def sample_extract_batch(acc_data: np.ndarray) -> tuple:
+    """Constant-coefficient sample extraction for a batch of accumulators.
+
+    ``acc_data`` holds ``B`` GLWE samples as a ``(B, k+1, N)`` torus
+    array.  Returns ``(a, b)`` with ``a`` of shape ``(B, k*N)`` and ``b``
+    of shape ``(B,)`` - sample ``r``'s LWE extraction at coefficient 0,
+    identical to :func:`sample_extract` on each row (uint32 wraparound
+    negation replaces the int64 round-trip).
+    """
+    acc_data = np.asarray(acc_data, dtype=TORUS_DTYPE)
+    batch, kp1, n = acc_data.shape
+    masks = acc_data[:, : kp1 - 1, :]
+    # a'_{i,0} = A_i[0]; a'_{i,j} = -A_i[N-j] for j > 0 (negacyclic fold).
+    ext = np.concatenate((masks[..., :1], np.negative(masks[..., :0:-1])), axis=-1)
+    return ext.reshape(batch, (kp1 - 1) * n), acc_data[:, kp1 - 1, 0].copy()

@@ -113,16 +113,19 @@ def _normalize(ctx: TfheContext, raw: list, digit_bits: int) -> RadixInteger:
 
     ``raw[i]`` holds a ciphertext of a value in [0, 8); two bootstraps
     per digit split it into (low digit, carry) and the carry joins the
-    next digit linearly.  The final carry is dropped (wraparound
-    arithmetic, like fixed-width hardware integers).
+    next digit linearly.  The two LUTs read the same input, so they run
+    as one batch of two through the shared blind-rotation pass.  The
+    final carry is dropped (wraparound arithmetic, like fixed-width
+    hardware integers).
     """
     base = 1 << digit_bits
     out = []
     carry = None
     for digit_ct in raw:
         acc = digit_ct if carry is None else lwe_add(digit_ct, carry)
-        low = ctx.apply_lut(acc, lambda v: v % base, DIGIT_P)
-        carry = ctx.apply_lut(acc, lambda v: v // base, DIGIT_P)
+        low, carry = ctx.apply_lut_batch(
+            [acc, acc], [lambda v: v % base, lambda v: v // base], DIGIT_P
+        )
         out.append(low)
     return RadixInteger(out, digit_bits)
 

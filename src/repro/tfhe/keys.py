@@ -9,11 +9,13 @@ scheme itself publishes as evaluation keys).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict
 
 import numpy as np
 
 from ..params import TFHEParams
+from ..transforms.negacyclic import negacyclic_fft
 from .ggsw import ggsw_encrypt
 from .glwe import GlweSecretKey, glwe_keygen
 from .lwe import LweSecretKey, gaussian_torus_noise, lwe_keygen
@@ -91,10 +93,42 @@ class KeySet:
     glwe_key: GlweSecretKey
     bsk: list
     ksk: KeySwitchingKey
+    _bsk_tables: Dict[str, np.ndarray] = field(default_factory=dict, repr=False)
 
     def bsk_spectra(self) -> list:
         """Pre-compute (and cache) every BSK GGSW transform image."""
         return [g.spectrum() for g in self.bsk]
+
+    def bsk_spectrum_table(self, precision: str = "double") -> np.ndarray:
+        """Eagerly transform the whole BSK as one batched FFT (cached).
+
+        Returns a ``(n, (k+1)*l_b, k+1, N/2)`` complex array: the
+        transform-domain image of every GGSW row of every BSK entry,
+        computed in a single batched negacyclic FFT - the software
+        analogue of pre-loading the Private-A2 buffer once instead of
+        transforming each GGSW lazily on first touch.
+
+        ``precision`` selects ``"double"`` (``complex128``, the default,
+        bit-compatible with the lazy per-GGSW spectra) or ``"single"``
+        (``complex64``, half the memory and a faster MAC; adds rounding
+        noise that must be validated against the noise envelope - see
+        docs/perf.md).
+        """
+        if precision not in ("double", "single"):
+            raise ValueError(
+                f"precision must be 'double' or 'single', got {precision!r}"
+            )
+        table = self._bsk_tables.get(precision)
+        if table is None:
+            stacked = np.stack([g.rows for g in self.bsk])  # (n, (k+1)l_b, k+1, N)
+            # repro: allow[RPR003] the "single" table is a declared reduced-precision
+            # mode; its rounding error is validated against the noise envelope
+            real_dtype = np.float64 if precision == "double" else np.float32
+            # repro: allow[RPR002] declared FFT boundary: centered lift feeds the transform engine
+            centered = stacked.astype(np.int32).astype(real_dtype)
+            table = negacyclic_fft(centered)
+            self._bsk_tables[precision] = table
+        return table
 
 
 def generate_keyset(params: TFHEParams, rng: np.random.Generator) -> KeySet:

@@ -16,9 +16,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Optional
+
 from ..observability import NOISE as _NOISE
 from ..params import TFHEParams
-from .bootstrap import BootstrapTrace, programmable_bootstrap
+from .bootstrap import BootstrapTrace, programmable_bootstrap, programmable_bootstrap_batch
 from .encoding import make_test_polynomial, message_to_signed, signed_to_message
 from .keys import KeySet, generate_keyset
 from .lwe import (
@@ -55,7 +57,7 @@ class TfheContext:
     keyset: KeySet
     default_p: int = 8
     engine: str = "transform"
-    trace: BootstrapTrace = None
+    trace: Optional[BootstrapTrace] = None
 
     # -- construction -------------------------------------------------
     @classmethod
@@ -115,11 +117,63 @@ class TfheContext:
     def apply_lut(self, ct: LweCiphertext, lut_half, p: int = None) -> LweCiphertext:
         """Programmable bootstrap evaluating ``lut_half`` over ``[0, p/2)``."""
         p = p or self.default_p
-        lut = np.asarray([lut_half(x) if callable(lut_half) else lut_half[x]
-                          for x in range(p // 2)], dtype=np.int64)
-        tp = make_test_polynomial(lut, self.params, p)
+        tp = self._lut_test_poly(lut_half, p)
         return programmable_bootstrap(ct, tp, self.keyset,
                                       engine=self.engine, trace=self.trace)
+
+    def _lut_test_poly(self, lut_half, p: int) -> np.ndarray:
+        lut = np.asarray([lut_half(x) if callable(lut_half) else lut_half[x]
+                          for x in range(p // 2)], dtype=np.int64)
+        return make_test_polynomial(lut, self.params, p)
+
+    def apply_lut_batch(self, cts: list, lut_halves: list, p: int = None,
+                        noise_labels: list = None) -> list:
+        """Bootstrap several ciphertexts in one batched pass.
+
+        ``lut_halves[r]`` programs sample ``r`` (per-sample test
+        polynomials riding the same BSK pass).  Falls back to scalar
+        bootstraps for the reference engines.  Bit-identical to mapping
+        :meth:`apply_lut` over the inputs.
+        """
+        p = p or self.default_p
+        if self.engine != "transform":
+            outs = []
+            for r, (ct, lut_half) in enumerate(zip(cts, lut_halves)):
+                label = noise_labels[r] if noise_labels is not None else None
+                if label is not None and _NOISE.enabled:
+                    with _NOISE.labelled(label):
+                        outs.append(self.apply_lut(ct, lut_half, p))
+                else:
+                    outs.append(self.apply_lut(ct, lut_half, p))
+            return outs
+        tps = np.stack([self._lut_test_poly(lut_half, p) for lut_half in lut_halves])
+        return programmable_bootstrap_batch(
+            cts, tps, self.keyset, trace=self.trace, noise_labels=noise_labels
+        )
+
+    def gate_batch(self, names: list, xs: list, ys: list) -> list:
+        """Evaluate independent binary gates as one batched bootstrap.
+
+        The gates share every BSK row (one blind-rotation pass for the
+        whole level of a circuit); each sample keeps its own LUT and its
+        own ``gate:<name>`` noise label.
+        """
+        luts = []
+        sums = []
+        for name, x, y in zip(names, xs, ys):
+            try:
+                luts.append(GATE_LUTS[name])
+            except KeyError:
+                raise ValueError(
+                    f"unknown gate {name!r}; known: {sorted(GATE_LUTS)}"
+                ) from None
+            if _NOISE.enabled:
+                with _NOISE.labelled(f"gate:{name}"):
+                    sums.append(lwe_add(x, y))
+            else:
+                sums.append(lwe_add(x, y))
+        labels = [f"gate:{name}" for name in names] if _NOISE.enabled else None
+        return self.apply_lut_batch(sums, luts, p=8, noise_labels=labels)
 
     def bootstrap(self, ct: LweCiphertext, p: int = None) -> LweCiphertext:
         """Noise-refresh bootstrap (identity LUT)."""

@@ -36,6 +36,7 @@ __all__ = [
     "poly_sub",
     "poly_neg",
     "monomial_mul",
+    "monomial_rotate_batch",
     "poly_mul",
     "poly_mul_spectrum",
     "to_spectrum",
@@ -86,6 +87,28 @@ def monomial_mul(p: np.ndarray, t: int) -> np.ndarray:
         out = rolled
     if negate_all:
         out = (-out.astype(np.int64)).astype(TORUS_DTYPE)
+    return out
+
+
+def monomial_rotate_batch(p: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """Per-row monomial multiply ``X^{t} * p`` with a vector of exponents.
+
+    ``p`` has shape ``(..., N)``; ``t`` is an integer array broadcastable
+    to ``p.shape[:-1]`` with entries taken modulo ``2N``.  One gather per
+    coefficient replaces the roll-and-negate of :func:`monomial_mul`:
+    ``out[..., j] = s * p[..., (j - t) mod N]`` with ``s = -1`` exactly
+    when ``(j - t) mod 2N >= N`` (the ``X^N = -1`` wraparound).  This is
+    the batched double-pointer rotator: every VPE row reads the same
+    accumulator layout at its own offset.
+    """
+    p = np.asarray(p, dtype=TORUS_DTYPE)
+    n = p.shape[-1]
+    t = np.broadcast_to(np.asarray(t, dtype=np.int64), p.shape[:-1])
+    idx = (np.arange(n, dtype=np.int64) - t[..., None]) % (2 * n)
+    wrapped = idx >= n
+    idx -= wrapped * n
+    out = np.take_along_axis(p, idx, axis=-1)
+    np.negative(out, out=out, where=wrapped)
     return out
 
 

@@ -6,11 +6,19 @@ the *functional* counterpart: an iterative radix-2 FFT implemented directly
 The iterative butterfly structure mirrors the multi-delay-commutator
 pipeline modelled in :mod:`repro.transforms.pipeline_model` - ``log2(n)``
 stages of butterflies with per-stage twiddle factors.
+
+The butterfly engine is allocation-lean: one bit-reversal gather produces
+the working array, every stage then updates it in place through a single
+reused scratch buffer (the product ``odd * twiddle``), and the twiddle
+tables are cached per ``(n, dtype)`` so ``complex64`` transforms never
+upcast.  Total allocation per transform is the output plus ``n/2``
+scratch elements, independent of the stage count.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -25,8 +33,8 @@ __all__ = [
     "fft_real_multiplies",
 ]
 
-_PERM_CACHE: dict = {}
-_TWIDDLE_CACHE: dict = {}
+_PERM_CACHE: Dict[int, np.ndarray] = {}
+_TWIDDLE_CACHE: Dict[Tuple[int, np.dtype], List[np.ndarray]] = {}
 
 _FFT_CALLS = _METRICS.counter(
     "transforms_fft_total", "FFT passes executed, by direction (batch-aware)"
@@ -36,7 +44,7 @@ _FFT_POINTS = _METRICS.histogram(
 )
 
 
-def _count_transforms(shape, direction: str) -> None:
+def _count_transforms(shape: Tuple[int, ...], direction: str) -> None:
     """Account one batched FFT call: ``prod(shape[:-1])`` transforms."""
     count = 1
     for dim in shape[:-1]:
@@ -61,35 +69,57 @@ def bit_reverse_permutation(n: int) -> np.ndarray:
     return perm
 
 
-def _stage_twiddles(n: int) -> list:
-    """Twiddle factors per butterfly stage for an ``n``-point DIT FFT."""
-    tw = _TWIDDLE_CACHE.get(n)
+def _stage_twiddles(n: int, dtype: np.dtype) -> List[np.ndarray]:
+    """Twiddle factors per butterfly stage for an ``n``-point DIT FFT.
+
+    Cached per ``(n, dtype)`` so single-precision transforms multiply by
+    ``complex64`` twiddles (no silent upcast to ``complex128``).
+    """
+    key = (n, np.dtype(dtype))
+    tw = _TWIDDLE_CACHE.get(key)
     if tw is None:
         tw = []
         size = 2
         while size <= n:
             half = size // 2
-            tw.append(np.exp(-2j * np.pi * np.arange(half) / size))
+            tw.append(np.exp(-2j * np.pi * np.arange(half) / size).astype(dtype))
             size *= 2
-        _TWIDDLE_CACHE[n] = tw
+        _TWIDDLE_CACHE[key] = tw
     return tw
 
 
 def _fft_core(x: np.ndarray) -> np.ndarray:
-    """Uninstrumented butterfly engine shared by :func:`fft` and :func:`ifft`."""
+    """Uninstrumented butterfly engine shared by :func:`fft` and :func:`ifft`.
+
+    The bit-reversal gather is the only full-size allocation; butterflies
+    run in place with one reused ``n/2``-element scratch per batch row
+    (``t = odd * tw``, then ``odd <- even - t`` and ``even <- even + t``).
+    """
     n = x.shape[-1]
     if n == 1:
         return x.copy()
-    perm = bit_reverse_permutation(n)
-    out = x[..., perm].copy()
-    for stage, tw in enumerate(_stage_twiddles(n)):
+    out = x[..., bit_reverse_permutation(n)]  # fancy indexing copies
+    batch_shape = x.shape[:-1]
+    scratch = np.empty(batch_shape + (n // 2,), dtype=out.dtype)
+    for stage, tw in enumerate(_stage_twiddles(n, out.dtype)):
         size = 2 << stage
         half = size // 2
-        blocks = out.reshape(x.shape[:-1] + (n // size, size))
+        blocks = out.reshape(batch_shape + (n // size, size))
         even = blocks[..., :half]
-        odd = blocks[..., half:] * tw
-        blocks[..., :half], blocks[..., half:] = even + odd, even - odd
+        odd = blocks[..., half:]
+        t = scratch.reshape(batch_shape + (n // size, half))
+        np.multiply(odd, tw, out=t)
+        np.subtract(even, t, out=odd)  # odd slot := even - odd*tw
+        even += t  # even slot := even + odd*tw
     return out
+
+
+def _as_complex(x: np.ndarray) -> np.ndarray:
+    """View/cast input as complex, preserving single precision."""
+    x = np.asarray(x)
+    if x.dtype in (np.complex64, np.float32):
+        return np.asarray(x, dtype=np.complex64)
+    return np.asarray(x, dtype=np.complex128)
 
 
 def fft(x: np.ndarray) -> np.ndarray:
@@ -97,9 +127,10 @@ def fft(x: np.ndarray) -> np.ndarray:
 
     Iterative radix-2 decimation-in-time: bit-reverse the input then apply
     ``log2(n)`` butterfly stages.  Accepts any shape; the transform runs
-    along the last axis, which must be a power of two.
+    along the last axis, which must be a power of two.  ``float32`` /
+    ``complex64`` inputs stay in single precision end to end.
     """
-    x = np.asarray(x, dtype=np.complex128)
+    x = _as_complex(x)
     if _METRICS.enabled:
         _count_transforms(x.shape, "forward")
     return _fft_core(x)
@@ -107,11 +138,14 @@ def fft(x: np.ndarray) -> np.ndarray:
 
 def ifft(x: np.ndarray) -> np.ndarray:
     """Inverse FFT along the last axis (unitary pairing with :func:`fft`)."""
-    x = np.asarray(x, dtype=np.complex128)
+    x = _as_complex(x)
     if _METRICS.enabled:
         _count_transforms(x.shape, "inverse")
     n = x.shape[-1]
-    return np.conj(_fft_core(np.conj(x))) / n
+    out = _fft_core(np.conj(x))
+    np.conj(out, out=out)
+    out /= n
+    return out
 
 
 # ---------------------------------------------------------------------------

@@ -21,7 +21,10 @@ reference ("golden") multiplier in tests and for small functional runs.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
+from numpy.typing import DTypeLike
 
 from ..observability import REGISTRY as _METRICS
 from .fft import fft, ifft
@@ -36,13 +39,16 @@ __all__ = [
 
 _TWIST_CACHE: dict = {}
 
+#: Mapping real input dtype -> complex working dtype for the folded FFT.
+_COMPLEX_FOR_REAL = {np.dtype(np.float32): np.complex64}
+
 _NEGACYCLIC = _METRICS.counter(
     "transforms_negacyclic_total",
     "Negacyclic polynomial transforms, by direction (batch-aware)",
 )
 
 
-def _count_polys(shape) -> int:
+def _count_polys(shape: Tuple[int, ...]) -> int:
     count = 1
     for dim in shape[:-1]:
         count *= int(dim)
@@ -56,13 +62,18 @@ def transform_length(n: int) -> int:
     return n // 2
 
 
-def _twist(n: int) -> np.ndarray:
-    """Twisting factors ``exp(i*pi*(2j+... )/n)`` for the folded transform."""
-    tw = _TWIST_CACHE.get(n)
+def _twist(n: int, dtype: DTypeLike = np.complex128) -> np.ndarray:
+    """Twisting factors ``exp(i*pi*j/n)`` for the folded transform.
+
+    Cached per ``(n, dtype)`` so the ``complex64`` precision mode never
+    upcasts through a double-precision twist multiply.
+    """
+    key = (n, np.dtype(dtype))
+    tw = _TWIST_CACHE.get(key)
     if tw is None:
         half = n // 2
-        tw = np.exp(1j * np.pi * np.arange(half) / n)
-        _TWIST_CACHE[n] = tw
+        tw = np.exp(1j * np.pi * np.arange(half) / n).astype(dtype)
+        _TWIST_CACHE[key] = tw
     return tw
 
 
@@ -71,19 +82,30 @@ def negacyclic_fft(p: np.ndarray) -> np.ndarray:
 
     Returns ``N/2`` complex points - the evaluations of ``p`` at the odd
     powers of the primitive ``2N``-th root of unity.  Batched over leading
-    axes.
+    axes.  ``float32`` input selects the single-precision (``complex64``)
+    path; everything else runs in ``complex128``.
     """
-    p = np.asarray(p, dtype=np.float64)
+    p = np.asarray(p)
+    cdtype = _COMPLEX_FOR_REAL.get(p.dtype, np.complex128)
+    if p.dtype not in (np.float32, np.float64):
+        p = p.astype(np.float64)
     n = p.shape[-1]
     half = transform_length(n)
     if _METRICS.enabled:
         _NEGACYCLIC.inc(_count_polys(p.shape), direction="forward")
-    folded = (p[..., :half] + 1j * p[..., half:]) * _twist(n)
+    folded = np.empty(p.shape[:-1] + (half,), dtype=cdtype)
+    folded.real = p[..., :half]
+    folded.imag = p[..., half:]
+    folded *= _twist(n, cdtype)
     return fft(folded)
 
 
 def negacyclic_ifft(spectrum: np.ndarray, n: int) -> np.ndarray:
-    """Inverse negacyclic transform back to ``n`` real coefficients."""
+    """Inverse negacyclic transform back to ``n`` real coefficients.
+
+    The output precision follows the spectrum: ``complex64`` spectra
+    produce ``float32`` coefficients.
+    """
     half = transform_length(n)
     if spectrum.shape[-1] != half:
         raise ValueError(
@@ -91,8 +113,10 @@ def negacyclic_ifft(spectrum: np.ndarray, n: int) -> np.ndarray:
         )
     if _METRICS.enabled:
         _NEGACYCLIC.inc(_count_polys(spectrum.shape), direction="inverse")
-    folded = ifft(spectrum) * np.conj(_twist(n))
-    out = np.empty(spectrum.shape[:-1] + (n,), dtype=np.float64)
+    folded = ifft(spectrum)
+    folded *= np.conj(_twist(n, folded.dtype))
+    real_dtype = np.float32 if folded.dtype == np.complex64 else np.float64
+    out = np.empty(spectrum.shape[:-1] + (n,), dtype=real_dtype)
     out[..., :half] = folded.real
     out[..., half:] = folded.imag
     return out

@@ -23,6 +23,8 @@ NTT and untwist after.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
 __all__ = [
@@ -71,7 +73,7 @@ def _bit_reverse(values: list) -> list:
     return out
 
 
-def ntt(values, root: int = None) -> list:
+def ntt(values: Sequence[int], root: Optional[int] = None) -> list:
     """Forward cyclic NTT of integer coefficients (list of python ints)."""
     values = [int(v) % GOLDILOCKS_PRIME for v in values]
     n = len(values)
@@ -98,7 +100,7 @@ def ntt(values, root: int = None) -> list:
     return out
 
 
-def intt(values, root: int = None) -> list:
+def intt(values: Sequence[int], root: Optional[int] = None) -> list:
     """Inverse cyclic NTT."""
     n = len(values)
     if root is None:
@@ -116,17 +118,17 @@ def _centered(value: int) -> int:
     return value
 
 
-def negacyclic_ntt_multiply(a, b) -> np.ndarray:
+def negacyclic_ntt_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Exact negacyclic product of two integer coefficient vectors.
 
     Inputs are signed integers (any values whose true negacyclic product
     magnitudes stay below P/2 ~ 2^63); output is an int64 numpy array of
     the exact product in ``Z[X]/(X^N + 1)``.
     """
-    a = list(np.asarray(a, dtype=np.int64))
-    b = list(np.asarray(b, dtype=np.int64))
-    n = len(a)
-    if len(b) != n:
+    a_ints = list(np.asarray(a, dtype=np.int64))
+    b_ints = list(np.asarray(b, dtype=np.int64))
+    n = len(a_ints)
+    if len(b_ints) != n:
         raise ValueError("operands must share the polynomial size")
     if n & (n - 1):
         raise ValueError(f"length must be a power of two, got {n}")
@@ -135,8 +137,8 @@ def negacyclic_ntt_multiply(a, b) -> np.ndarray:
     psi_pows = [1] * n
     for i in range(1, n):
         psi_pows[i] = psi_pows[i - 1] * psi % GOLDILOCKS_PRIME
-    a_t = [int(x) * p % GOLDILOCKS_PRIME for x, p in zip(a, psi_pows)]
-    b_t = [int(x) * p % GOLDILOCKS_PRIME for x, p in zip(b, psi_pows)]
+    a_t = [int(x) * p % GOLDILOCKS_PRIME for x, p in zip(a_ints, psi_pows)]
+    b_t = [int(x) * p % GOLDILOCKS_PRIME for x, p in zip(b_ints, psi_pows)]
     spec = [
         x * y % GOLDILOCKS_PRIME for x, y in zip(ntt(a_t), ntt(b_t))
     ]
