@@ -35,13 +35,20 @@ from ..observability.noise import NoiseTracker
 __all__ = [
     "FAILPROB_SCHEMA_VERSION",
     "LOG2_PROB_FLOOR",
+    "DEFAULT_LOG2_BUDGET",
     "gaussian_tail_log2",
     "FailurePointEstimate",
     "WorkloadFailureReport",
     "estimate_failure_probability",
+    "AppFailureReport",
+    "estimate_app_failure",
 ]
 
 FAILPROB_SCHEMA_VERSION = 1
+
+#: Default workload failure budget: ``p_fail <= 2**-20``, the bound the
+#: ``repro noise`` verdict already gates on.
+DEFAULT_LOG2_BUDGET = -20.0
 
 #: Probabilities below ``2**LOG2_PROB_FLOOR`` are clamped: "numerically
 #: zero", and keeps the JSON output free of ``-Infinity``.
@@ -141,6 +148,112 @@ class WorkloadFailureReport:
                 f"log2 p = {worst.log2_prob:.1f})"
             )
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AppFailureReport:
+    """Analytic decryption-failure budget for an app-scale workload.
+
+    The simulated workloads (``repro workload``, ``repro profile``) never
+    materialize ciphertexts, so there are no tracked failure points to
+    sum - instead this report *extrapolates*: one boolean-gate decision
+    per bootstrap, with the decision variance taken from the CGGI noise
+    algebra (two bootstrapped operands entering the gate's linear
+    combination, plus the modulus-switch rounding of the decision phase)
+    and the union bound scaled by the workload's bootstrap count.  It is
+    the analytic counterpart of :func:`estimate_failure_probability`,
+    answering the open telemetry question "does this workload stay inside
+    its failure budget at full scale?".
+    """
+
+    schema_version: int
+    params_name: str
+    bootstraps: int
+    margin: float
+    decision_std_log2: float
+    sigmas: float
+    per_bootstrap_log2_prob: float
+    total_log2_prob: float
+    log2_budget: float
+
+    @property
+    def within_budget(self) -> bool:
+        return self.total_log2_prob <= self.log2_budget
+
+    def to_jsonable(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "params": self.params_name,
+            "bootstraps": self.bootstraps,
+            "margin": self.margin,
+            "decision_std_log2": self.decision_std_log2,
+            "sigmas": self.sigmas,
+            "per_bootstrap_log2_prob": self.per_bootstrap_log2_prob,
+            "total_log2_prob": self.total_log2_prob,
+            "log2_budget": self.log2_budget,
+            "within_budget": self.within_budget,
+        }
+
+    def render_text(self) -> str:
+        zero = ("  (numerically zero)"
+                if self.total_log2_prob <= LOG2_PROB_FLOOR else "")
+        return "\n".join([
+            f"analytic failure budget ({self.params_name}, "
+            f"{self.bootstraps:,} bootstraps):",
+            f"  decision margin {self.margin:.4g}, std "
+            f"2^{self.decision_std_log2:.1f} ({self.sigmas:.1f} sigma)",
+            f"  log2(p_fail) <= {self.total_log2_prob:.1f}{zero}",
+            f"  within 2^{self.log2_budget:.0f} budget: "
+            f"{'yes' if self.within_budget else 'NO'}",
+        ])
+
+
+def estimate_app_failure(params, bootstraps: int,
+                         margin: float = 1.0 / 8.0,
+                         log2_budget: float = DEFAULT_LOG2_BUDGET) -> AppFailureReport:
+    """Analytic union-bound failure probability for ``bootstraps`` gates.
+
+    ``margin`` is the decision margin per bootstrap in torus units; the
+    default ``1/8`` is the boolean-gate margin (quarter-torus plaintexts,
+    the decision phase lands half a step from the boundary).  Reports a
+    ``failure_budget`` anomaly through the flight recorder when the
+    budget is overrun, so a breach during a telemetry-enabled run dumps
+    the window that produced it.
+    """
+    from ..observability.flightrec import report_anomaly
+    from ..tfhe.noise import (
+        blind_rotation_noise_variance,
+        key_switch_noise_variance,
+        modulus_switch_noise_variance,
+    )
+
+    bootstrap_out = key_switch_noise_variance(
+        params, blind_rotation_noise_variance(params)
+    )
+    # A gate decision sees the sum of two bootstrapped operands plus the
+    # modswitch rounding of its own decision phase.
+    variance = 2.0 * bootstrap_out + modulus_switch_noise_variance(params)
+    std = math.sqrt(variance)
+    per_point = gaussian_tail_log2(margin, variance)
+    count = max(int(bootstraps), 1)
+    total = min(per_point + math.log2(count), 0.0)
+    total = max(total, LOG2_PROB_FLOOR)
+    report = AppFailureReport(
+        schema_version=FAILPROB_SCHEMA_VERSION,
+        params_name=params.name,
+        bootstraps=count,
+        margin=margin,
+        decision_std_log2=math.log2(std) if std > 0.0 else LOG2_PROB_FLOOR,
+        sigmas=margin / std if std > 0.0 else math.inf,
+        per_bootstrap_log2_prob=per_point,
+        total_log2_prob=total,
+        log2_budget=log2_budget,
+    )
+    if not report.within_budget:
+        report_anomaly("failure_budget", params=params.name,
+                       bootstraps=count, total_log2_prob=total,
+                       log2_budget=log2_budget)
+    return report
 
 
 def estimate_failure_probability(tracker: NoiseTracker) -> WorkloadFailureReport:

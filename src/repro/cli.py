@@ -25,6 +25,16 @@ Commands
                  decryption-failure probability (``--measure`` decrypts
                  with the debug key for predicted-vs-measured pairs;
                  ``--json``/``--chrome`` export the noise waterfall)
+``top``          live telemetry dashboard: drive a workload under the
+                 event bus and redraw bootstraps/s, batch occupancy,
+                 stage fractions, HBM traffic, drift verdicts and recent
+                 anomalies between rounds
+``record``       run a workload with the flight recorder armed; write
+                 the event-window bundle (and, with ``--jsonl``, the
+                 full structured event log) for offline replay
+``replay``       load a flight-recorder bundle: print its summary or
+                 render spans + counter tracks + noise waterfall as one
+                 merged Chrome timeline (``--chrome``)
 """
 
 from __future__ import annotations
@@ -43,6 +53,23 @@ def _print_json(payload) -> None:
     from .observability import to_jsonable
 
     print(json.dumps(to_jsonable(payload), indent=2, sort_keys=True))
+
+
+#: Workload names shared by ``workload``, ``top`` and ``record``.
+_WORKLOADS = ("xgboost", "deepcnn-20", "deepcnn-50", "deepcnn-100", "vgg9")
+
+
+def _make_workload(name: str):
+    from .apps import deepcnn_workload, vgg9_workload, xgboost_workload
+
+    factories = {
+        "xgboost": xgboost_workload,
+        "deepcnn-20": lambda: deepcnn_workload(20),
+        "deepcnn-50": lambda: deepcnn_workload(50),
+        "deepcnn-100": lambda: deepcnn_workload(100),
+        "vgg9": vgg9_workload,
+    }
+    return factories[name]()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,10 +96,15 @@ def build_parser() -> argparse.ArgumentParser:
     area.add_argument("--xpus", type=int, default=4)
 
     wl = sub.add_parser("workload", help="cost an application workload")
-    wl.add_argument("name", choices=["xgboost", "deepcnn-20", "deepcnn-50",
-                                     "deepcnn-100", "vgg9"])
+    wl.add_argument("name", choices=sorted(_WORKLOADS))
     wl.add_argument("--set", default="III", dest="param_set",
                     choices=sorted(PARAM_SETS))
+    wl.add_argument("--noise", action="store_true",
+                    help="append the analytic decryption-failure budget "
+                         "(union bound over the workload's bootstraps)")
+    wl.add_argument("--json", action="store_true",
+                    help="print the costing (and, with --noise, the "
+                         "failure report) as JSON")
 
     demo = sub.add_parser("demo", help="functional encrypt/bootstrap/decrypt")
     demo.add_argument("--message", type=int, default=3)
@@ -88,6 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--chrome", metavar="PATH", default=None,
                        help="also write a Chrome/Perfetto trace-event JSON "
                             "file of the pipeline (open in ui.perfetto.dev)")
+    trace.add_argument("--merge", action="store_true",
+                       help="with --chrome: merge the pipeline timeline and "
+                            "the perf-counter tracks into one file (each "
+                            "system gets its own process group)")
 
     met = sub.add_parser(
         "metrics",
@@ -118,6 +154,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="TFHE parameter set (Table III)")
     prof.add_argument("--no-what-if", action="store_true",
                       help="skip the what-if simulator re-runs")
+    prof.add_argument("--noise", action="store_true",
+                      help="append the analytic decryption-failure budget "
+                           "for one steady-state group")
     prof.add_argument("--json", action="store_true",
                       help="print the schema-versioned profile as JSON")
     prof.add_argument("--chrome", metavar="PATH", default=None,
@@ -170,6 +209,52 @@ def build_parser() -> argparse.ArgumentParser:
     noi.add_argument("--chrome", metavar="PATH", default=None,
                      help="write the noise waterfall as a Chrome/Perfetto "
                           "trace-event JSON file")
+
+    top = sub.add_parser(
+        "top",
+        help="live telemetry dashboard over repeated workload rounds",
+    )
+    top.add_argument("--workload", default="xgboost",
+                     choices=sorted(_WORKLOADS))
+    top.add_argument("--set", default="III", dest="param_set",
+                     choices=sorted(PARAM_SETS))
+    top.add_argument("--iterations", type=int, default=3,
+                     help="workload rounds to drive (one redraw per round)")
+    top.add_argument("--interval", type=float, default=0.0,
+                     help="seconds to sleep between redraws")
+    top.add_argument("--json", action="store_true",
+                     help="print the final aggregated snapshot as JSON "
+                          "instead of redrawing the panel")
+
+    rec = sub.add_parser(
+        "record",
+        help="run a workload with the flight recorder armed, save the bundle",
+    )
+    rec.add_argument("--workload", default="xgboost",
+                     choices=sorted(_WORKLOADS))
+    rec.add_argument("--set", default="III", dest="param_set",
+                     choices=sorted(PARAM_SETS))
+    rec.add_argument("-o", "--output", metavar="PATH", default="flight.json",
+                     help="bundle file to write (default: flight.json)")
+    rec.add_argument("--jsonl", metavar="PATH", default=None,
+                     help="also stream every bus event to this JSONL log")
+    rec.add_argument("--latency-budget", type=float, default=None,
+                     metavar="SECONDS",
+                     help="arm the latency-spike trigger at this makespan")
+    rec.add_argument("--window", type=float, default=None, metavar="SECONDS",
+                     help="flight-recorder dump window (default 30s)")
+
+    rep = sub.add_parser(
+        "replay",
+        help="summarize a flight bundle or render it as a merged timeline",
+    )
+    rep.add_argument("bundle", help="flight-recorder bundle JSON file")
+    rep.add_argument("--chrome", metavar="PATH", default=None,
+                     help="write the bundle as one merged Chrome/Perfetto "
+                          "timeline: spans + counter tracks + noise "
+                          "waterfall in a single file")
+    rep.add_argument("--json", action="store_true",
+                     help="print the bundle summary as JSON")
     return parser
 
 
@@ -254,29 +339,47 @@ def _cmd_area(args) -> int:
 
 
 def _cmd_workload(args) -> int:
-    from .apps import deepcnn_workload, vgg9_workload, xgboost_workload
     from .baselines import CpuCostModel
     from .core.accelerator import MorphlingConfig
     from .core.scheduler import run_workload
 
-    factories = {
-        "xgboost": xgboost_workload,
-        "deepcnn-20": lambda: deepcnn_workload(20),
-        "deepcnn-50": lambda: deepcnn_workload(50),
-        "deepcnn-100": lambda: deepcnn_workload(100),
-        "vgg9": vgg9_workload,
-    }
-    workload = factories[args.name]()
+    workload = _make_workload(args.name)
     params = get_params(args.param_set)
+    workload.announce()
     result = run_workload(MorphlingConfig(), params, list(workload.layers))
     cpu_s = CpuCostModel().workload_seconds(
         params, workload.total_bootstraps, workload.total_linear_macs
     )
+    failure = None
+    if args.noise:
+        from .analysis.failprob import estimate_app_failure
+
+        failure = estimate_app_failure(params, workload.total_bootstraps)
+    if args.json:
+        payload = {
+            "workload": workload.name,
+            "param_set": params.name,
+            "layers": workload.depth,
+            "bootstraps": workload.total_bootstraps,
+            "linear_macs": workload.total_linear_macs,
+            "morphling_seconds": result.total_seconds,
+            "utilization": result.utilization,
+            "padding_waste": result.padding_waste,
+            "cpu_seconds": cpu_s,
+            "speedup": cpu_s / result.total_seconds,
+        }
+        if failure is not None:
+            payload["failure"] = failure.to_jsonable()
+        _print_json(payload)
+        return 0 if failure is None or failure.within_budget else 1
     print(workload.summary())
     print(f"  Morphling : {result.total_seconds:.3f} s "
           f"(XPU utilization {result.utilization['xpu']:.0%})")
     print(f"  64-core CPU: {cpu_s:.2f} s")
     print(f"  speedup    : {cpu_s / result.total_seconds:.0f}x")
+    if failure is not None:
+        print(failure.render_text())
+        return 0 if failure.within_budget else 1
     return 0
 
 
@@ -309,13 +412,26 @@ def _cmd_trace(args) -> int:
     print(f"steady state: {trace.steady_state_interval():.0f} cycles/iteration "
           f"(analytic {analytic:.0f}); bottleneck: {trace.bottleneck()}")
     if args.chrome:
+        events = pipeline_trace_events(trace)
+        if args.merge:
+            from . import observability as obs
+            from .core.simulator import simulate_bootstrap
+            from .observability import counter_track_events, merged_trace_events
+
+            with obs.counting() as bank:
+                simulate_bootstrap(config, params)
+                counter_events = counter_track_events(bank)
+            events = merged_trace_events(
+                {"pipeline": events, "counters": counter_events}
+            )
         write_chrome_trace(
             args.chrome,
-            pipeline_trace_events(trace),
+            events,
             metadata={"param_set": params.name, "config": config.name,
-                      "iterations": trace.iterations},
+                      "iterations": trace.iterations, "merged": args.merge},
         )
-        print(f"wrote Chrome trace to {args.chrome} "
+        kind = "merged Chrome trace" if args.merge else "Chrome trace"
+        print(f"wrote {kind} to {args.chrome} "
               f"(open in ui.perfetto.dev or chrome://tracing)")
     return 0
 
@@ -378,10 +494,23 @@ def _cmd_profile(args) -> int:
             metadata={"param_set": params.name, "config": config.name,
                       "counters_digest": profile.counters_digest},
         )
+    failure = None
+    if args.noise:
+        from .analysis.failprob import estimate_app_failure
+
+        failure = estimate_app_failure(params, profile.group_size)
     if args.json:
-        _print_json(profile)
+        if failure is not None:
+            from .observability import to_jsonable
+
+            _print_json({"profile": to_jsonable(profile),
+                         "failure": failure.to_jsonable()})
+        else:
+            _print_json(profile)
     else:
         print(profile.render_text())
+        if failure is not None:
+            print(failure.render_text())
         if args.chrome:
             print(f"wrote counter tracks to {args.chrome} "
                   f"(open in ui.perfetto.dev or chrome://tracing)")
@@ -495,6 +624,115 @@ def _cmd_noise(args) -> int:
     return 0 if (functional_ok and drift_ok and budget_ok) else 1
 
 
+def _cmd_top(args) -> int:
+    from . import observability as obs
+    from .core.accelerator import MorphlingConfig
+    from .core.scheduler import run_workload
+    from .observability.dashboard import run_top
+
+    workload = _make_workload(args.workload)
+    params = get_params(args.param_set)
+    config = MorphlingConfig()
+
+    def round_(i: int) -> None:
+        if i == 0:
+            workload.announce()
+        run_workload(config, params, list(workload.layers))
+
+    with obs.telemetry():
+        if args.json:
+            dash = obs.Dashboard()
+            try:
+                for i in range(args.iterations):
+                    round_(i)
+            finally:
+                dash.close()
+            _print_json(dash.snapshot())
+        else:
+            run_top(round_, iterations=args.iterations,
+                    interval_s=args.interval)
+    return 0
+
+
+def _cmd_record(args) -> int:
+    from . import observability as obs
+    from .core.accelerator import MorphlingConfig
+    from .core.scheduler import run_workload
+    from .observability.bus import JsonlEventLog
+    from .observability.flightrec import flight_recording
+
+    workload = _make_workload(args.workload)
+    params = get_params(args.param_set)
+    log = None
+    # Full telemetry (registry/tracer/counters/noise) so the bundle holds
+    # spans and counter samples, then the recorder armed on top of it.
+    with obs.telemetry(), flight_recording(window_s=args.window) as rec:
+        if args.jsonl:
+            log = JsonlEventLog(args.jsonl)
+        try:
+            workload.announce()
+            run_workload(MorphlingConfig(), params, list(workload.layers),
+                         latency_budget_s=args.latency_budget)
+        finally:
+            if log is not None:
+                log.close()
+        # Prefer an anomaly-triggered bundle; fall back to a manual
+        # capture of the full ring so `record` always produces one.
+        bundle = rec.last_bundle
+        if bundle is None:
+            bundle = rec.dump(args.output, "manual",
+                              workload=workload.name, params=params.name)
+        else:
+            with open(args.output, "w") as fh:
+                json.dump(bundle, fh, indent=1)
+    print(f"recorded {len(bundle['events'])} events "
+          f"(trigger: {bundle['trigger']['reason']}) -> {args.output}")
+    if args.jsonl:
+        print(f"event log: {args.jsonl} ({log.lines_written} events)")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from .observability.export import flight_trace_events, write_chrome_trace
+    from .observability.flightrec import load_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot replay {args.bundle}: {exc}", file=sys.stderr)
+        return 2
+    trigger = bundle["trigger"]
+    if args.chrome:
+        write_chrome_trace(
+            args.chrome, flight_trace_events(bundle),
+            metadata={"bundle": args.bundle,
+                      "trigger": trigger["reason"],
+                      "schema_version": bundle["schema_version"]},
+        )
+    if args.json:
+        summary = {
+            "schema_version": bundle["schema_version"],
+            "trigger": trigger,
+            "window_s": bundle["window_s"],
+            "counts": bundle["counts"],
+            "events": len(bundle["events"]),
+        }
+        _print_json(summary)
+        return 0
+    print(f"flight bundle {args.bundle} (schema v{bundle['schema_version']})")
+    fields = ", ".join(f"{k}={v}" for k, v in trigger["fields"].items())
+    print(f"  trigger : {trigger['reason']} at t={trigger['t_s']:.3f}s"
+          + (f" ({fields})" if fields else ""))
+    print(f"  window  : {bundle['window_s']:.1f}s, "
+          f"{len(bundle['events'])} events")
+    for kind, count in bundle["counts"].items():
+        print(f"    {kind:14s} {count}")
+    if args.chrome:
+        print(f"wrote merged timeline to {args.chrome} "
+              f"(open in ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
 def _log2(value: float) -> float:
     import math
 
@@ -524,6 +762,9 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "verify": _cmd_verify,
     "noise": _cmd_noise,
+    "top": _cmd_top,
+    "record": _cmd_record,
+    "replay": _cmd_replay,
 }
 
 

@@ -14,11 +14,14 @@ resource model of the paper's pipelined execution.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..observability import (
+    BUS as _BUS,
     COUNTERS as _COUNTERS,
     REGISTRY as _METRICS,
     TRACER as _TRACER,
+    report_anomaly as _report_anomaly,
 )
 from ..params import TFHEParams
 from .accelerator import MorphlingConfig
@@ -347,7 +350,7 @@ class HwScheduler:
             "dma_xpu": busy["dma_xpu"],
             "dma_vpu": busy["dma_vpu"],
         }
-        return ScheduleResult(
+        result = ScheduleResult(
             total_seconds=total,
             engine_busy_seconds=merged,
             instructions=len(stream),
@@ -355,6 +358,18 @@ class HwScheduler:
             padding_waste=waste,
             spans=spans,
         )
+        if _BUS.enabled:
+            _BUS.publish("snapshot", "sched/result", value=total,
+                         instructions=result.instructions,
+                         groups=result.groups, padding_waste=waste,
+                         utilization=result.utilization)
+            if scheduled_slots:
+                # Scheduled-slot occupancy: the steady-state batch-fill
+                # evidence the dashboard's occupancy bar reports when a
+                # run goes through the scheduler rather than the machine.
+                _BUS.publish("batch", "sched/slots", value=float(used_slots),
+                             capacity=scheduled_slots)
+        return result
 
 
 def render_schedule(result: ScheduleResult, width: int = 72) -> str:
@@ -384,8 +399,26 @@ def render_schedule(result: ScheduleResult, width: int = 72) -> str:
 
 def run_workload(
     config: MorphlingConfig, params: TFHEParams, layers: list,
-    verify: bool = True,
+    verify: bool = True, latency_budget_s: Optional[float] = None,
 ) -> ScheduleResult:
-    """Schedule, statically verify, and execute a workload end to end."""
-    stream = SwScheduler(config, params).schedule(layers)
-    return HwScheduler(config, params).execute(stream, verify=verify)
+    """Schedule, statically verify, and execute a workload end to end.
+
+    ``latency_budget_s`` arms the flight recorder's latency-spike
+    trigger: a makespan over the budget reports a ``latency_spike``
+    anomaly (the run still returns normally — the budget is telemetry,
+    not admission control).  Uncaught exceptions in scheduling or
+    execution are reported as ``exception`` anomalies and re-raised, so
+    a crash dump carries the events leading up to it.
+    """
+    try:
+        stream = SwScheduler(config, params).schedule(layers)
+        result = HwScheduler(config, params).execute(stream, verify=verify)
+    except Exception as exc:
+        _report_anomaly("exception", where="run_workload", error=repr(exc),
+                        config=config.name, params=params.name)
+        raise
+    if latency_budget_s is not None and result.total_seconds > latency_budget_s:
+        _report_anomaly("latency_spike", budget_s=latency_budget_s,
+                        actual_s=result.total_seconds,
+                        config=config.name, params=params.name)
+    return result

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..observability import (
+    BUS as _BUS,
     COUNTERS as _COUNTERS,
     REGISTRY as _METRICS,
     TRACER as _TRACER,
@@ -272,6 +273,12 @@ class MorphlingSimulator:
             / clock_hz
             + ksk_tail
         )
+
+        if _BUS.enabled:
+            _BUS.publish("snapshot", "sim/report", value=throughput,
+                         bottleneck=bottleneck, group_size=group_size,
+                         latency_ms=latency * 1e3, params=p.name,
+                         config=cfg.name)
 
         return SimulationReport(
             config_name=cfg.name,

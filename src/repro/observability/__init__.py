@@ -6,7 +6,14 @@ process-wide singletons are
 - :data:`REGISTRY` - the :class:`~repro.observability.registry.MetricsRegistry`
   all hot paths register their counters/gauges/histograms on;
 - :data:`TRACER` - the :class:`~repro.observability.tracer.Tracer`
-  collecting wall-clock and simulated-time spans.
+  collecting wall-clock and simulated-time spans;
+- :data:`COUNTERS` - the modelled hardware perf-counter bank;
+- :data:`NOISE` - the per-ciphertext noise tracker;
+- :data:`BUS` - the :class:`~repro.observability.bus.TelemetryBus` the
+  four systems above publish typed events onto, feeding
+- :data:`FLIGHT` - the always-on
+  :class:`~repro.observability.flightrec.FlightRecorder` that dumps the
+  recent event window to a JSON bundle when an anomaly trigger fires.
 
 Telemetry is **off by default**: every instrumented site guards itself
 with one ``enabled`` check, so the uninstrumented code path is restored
@@ -20,24 +27,44 @@ Turn it on around a region of interest::
         print(obs.render_prometheus(obs.REGISTRY.snapshot()))
 
 or globally with :func:`enable` / :func:`disable`.  Exporters turn what
-was recorded into Prometheus text, JSON, or a Chrome trace-event file
-that opens in Perfetto (see ``docs/observability.md``).
+was recorded into Prometheus text, JSON, JSONL event logs, or a Chrome
+trace-event file that opens in Perfetto (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 
+from .bus import (
+    BUS,
+    EVENT_SCHEMA_VERSION,
+    JsonlEventLog,
+    TelemetryBus,
+    TelemetryEvent,
+    event_to_jsonable,
+    read_jsonl_events,
+)
 from .counters import COUNTERS, PerfCounters, counting
+from .dashboard import Dashboard, run_top
 from .export import (
     chrome_trace_events,
     counter_track_events,
+    flight_trace_events,
+    merged_trace_events,
     noise_trace_events,
     pipeline_trace_events,
     render_prometheus,
     schedule_trace_events,
     to_jsonable,
     write_chrome_trace,
+)
+from .flightrec import (
+    BUNDLE_SCHEMA_VERSION,
+    FLIGHT,
+    FlightRecorder,
+    flight_recording,
+    load_bundle,
+    report_anomaly,
 )
 from .noise import (
     NOISE,
@@ -56,6 +83,8 @@ __all__ = [
     "TRACER",
     "COUNTERS",
     "NOISE",
+    "BUS",
+    "FLIGHT",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -72,6 +101,19 @@ __all__ = [
     "OpClassDrift",
     "noise_tracking",
     "drift_report",
+    "TelemetryBus",
+    "TelemetryEvent",
+    "JsonlEventLog",
+    "EVENT_SCHEMA_VERSION",
+    "event_to_jsonable",
+    "read_jsonl_events",
+    "FlightRecorder",
+    "BUNDLE_SCHEMA_VERSION",
+    "flight_recording",
+    "load_bundle",
+    "report_anomaly",
+    "Dashboard",
+    "run_top",
     "enable",
     "disable",
     "is_enabled",
@@ -84,6 +126,8 @@ __all__ = [
     "noise_trace_events",
     "pipeline_trace_events",
     "schedule_trace_events",
+    "merged_trace_events",
+    "flight_trace_events",
     "write_chrome_trace",
 ]
 
@@ -95,46 +139,56 @@ TRACER = Tracer()
 
 
 def enable() -> None:
-    """Switch the registry, tracer, perf counters and noise tracker on."""
+    """Switch every telemetry system on (registry, tracer, counters,
+    noise tracker, bus and flight recorder)."""
     REGISTRY.enable()
     TRACER.enable()
     COUNTERS.enable()
     NOISE.enable()
+    BUS.enable()
+    FLIGHT.enable()
 
 
 def disable() -> None:
-    """Switch the registry, tracer, perf counters and noise tracker off."""
+    """Switch every telemetry system off."""
     REGISTRY.disable()
     TRACER.disable()
     COUNTERS.disable()
     NOISE.disable()
+    BUS.disable()
+    FLIGHT.disable()
 
 
 def is_enabled() -> bool:
-    return REGISTRY.enabled or TRACER.enabled or COUNTERS.enabled or NOISE.enabled
+    return (REGISTRY.enabled or TRACER.enabled or COUNTERS.enabled
+            or NOISE.enabled or BUS.enabled or FLIGHT.enabled)
 
 
 def reset() -> None:
-    """Clear all recorded metrics, spans, counters and noise records."""
+    """Clear all recorded metrics, spans, counters, noise records and
+    buffered bus/flight-recorder events."""
     REGISTRY.reset()
     TRACER.reset()
     COUNTERS.reset()
     NOISE.reset()
+    BUS.reset()
+    FLIGHT.reset()
 
 
 @contextmanager
 def telemetry(clear: bool = True):
     """Enable telemetry for a ``with`` block, restoring the prior state.
 
-    With ``clear`` (the default) the registry, tracer, perf counters and
-    noise tracker are reset on entry so the block observes only its own
-    activity.
+    With ``clear`` (the default) every system is reset on entry so the
+    block observes only its own activity.
     """
-    prior = (REGISTRY.enabled, TRACER.enabled, COUNTERS.enabled, NOISE.enabled)
+    prior = (REGISTRY.enabled, TRACER.enabled, COUNTERS.enabled,
+             NOISE.enabled, BUS.enabled, FLIGHT.enabled)
     if clear:
         reset()
     enable()
     try:
         yield REGISTRY, TRACER
     finally:
-        REGISTRY.enabled, TRACER.enabled, COUNTERS.enabled, NOISE.enabled = prior
+        (REGISTRY.enabled, TRACER.enabled, COUNTERS.enabled,
+         NOISE.enabled, BUS.enabled, FLIGHT.enabled) = prior

@@ -1,0 +1,229 @@
+"""Live terminal dashboard (``repro top``) fed by the telemetry bus.
+
+:class:`Dashboard` subscribes to the :class:`~repro.observability.bus.
+TelemetryBus` and folds the event stream into the handful of numbers an
+operator watches while a workload runs:
+
+- **bootstraps/s** - from ``batch`` events (each carries the batch size)
+  over the bus-time window they arrived in;
+- **batch occupancy** - ``batch`` events that carry a ``capacity`` field
+  (the machine publishes ``len(cts) / vpe_rows``) averaged over the run:
+  the steady-state throughput evidence of the paper's Fig. 13;
+- **per-stage cycle fractions** - ``counter`` events with
+  ``unit="cycles"`` accumulated per resource, the bottleneck view;
+- **HBM traffic** - ``counter`` events with ``unit="bytes"``;
+- **noise drift verdict** - worst sigma seen on ``noise`` events against
+  the flight recorder's drift envelope;
+- **recent anomalies** - the last few ``anomaly`` events verbatim.
+
+The aggregation is incremental and O(1) per event, so the dashboard can
+stay subscribed for the whole run.  :func:`run_top` drives a workload
+callable under full telemetry and redraws the panel between refreshes -
+the implementation behind ``repro top``.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, IO, List, Optional, Tuple
+
+from .bus import BUS, TelemetryBus, TelemetryEvent
+from .flightrec import DEFAULT_DRIFT_SIGMAS
+
+__all__ = ["Dashboard", "run_top"]
+
+
+class Dashboard:
+    """Incremental aggregator over bus events, renderable as a panel."""
+
+    def __init__(self, bus: Optional[TelemetryBus] = None,
+                 drift_sigmas: float = DEFAULT_DRIFT_SIGMAS,
+                 anomaly_history: int = 8):
+        self.bus = bus if bus is not None else BUS
+        self.drift_sigmas = float(drift_sigmas)
+        self._lock = threading.Lock()
+        self._bootstraps = 0.0
+        self._first_t: Optional[float] = None
+        self._last_t: Optional[float] = None
+        self._occupancy_sum = 0.0
+        self._occupancy_n = 0
+        self._stage_cycles: Dict[str, float] = {}
+        self._hbm_bytes: Dict[str, float] = {}
+        self._noise_ops = 0
+        self._worst_sigma: Optional[float] = None
+        self._anomalies: Deque[Tuple[float, str, Dict[str, Any]]] = deque(
+            maxlen=anomaly_history
+        )
+        self._workload: Optional[str] = None
+        self._report: Dict[str, Any] = {}
+        self.bus.subscribe(self._on_event)
+
+    def close(self) -> None:
+        """Detach from the bus (the aggregated state stays readable)."""
+        self.bus.unsubscribe(self._on_event)
+
+    def __enter__(self) -> "Dashboard":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- event folding ----------------------------------------------------
+    def _on_event(self, event: TelemetryEvent) -> None:
+        with self._lock:
+            if self._first_t is None:
+                self._first_t = event.t_s
+            self._last_t = event.t_s
+            kind = event.kind
+            if kind == "batch":
+                self._bootstraps += float(event.value or 0.0)
+                capacity = event.fields.get("capacity")
+                if capacity:
+                    self._occupancy_sum += float(event.value or 0.0) / float(capacity)
+                    self._occupancy_n += 1
+            elif kind == "counter":
+                unit = event.fields.get("unit")
+                if unit == "cycles":
+                    self._stage_cycles[event.name] = (
+                        self._stage_cycles.get(event.name, 0.0)
+                        + float(event.value or 0.0)
+                    )
+                elif unit == "bytes":
+                    self._hbm_bytes[event.name] = (
+                        self._hbm_bytes.get(event.name, 0.0)
+                        + float(event.value or 0.0)
+                    )
+            elif kind == "noise":
+                self._noise_ops += 1
+                sigma = event.fields.get("sigma")
+                if sigma is not None:
+                    s = float(sigma)
+                    if self._worst_sigma is None or s > self._worst_sigma:
+                        self._worst_sigma = s
+            elif kind == "anomaly":
+                self._anomalies.append((event.t_s, event.name, dict(event.fields)))
+            elif kind == "workload":
+                self._workload = event.name
+            elif kind == "snapshot":
+                self._report[event.name] = {"value": event.value, **event.fields}
+
+    # -- reads --------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic plain-dict view of the aggregated state."""
+        with self._lock:
+            elapsed = ((self._last_t - self._first_t)
+                       if self._first_t is not None and self._last_t is not None
+                       else 0.0)
+            total_cycles = sum(self._stage_cycles.values())
+            fractions = {
+                name: (cycles / total_cycles if total_cycles else 0.0)
+                for name, cycles in sorted(self._stage_cycles.items())
+            }
+            drift_ok = (self._worst_sigma is None
+                        or self._worst_sigma <= self.drift_sigmas)
+            return {
+                "workload": self._workload,
+                "bootstraps": self._bootstraps,
+                "elapsed_s": elapsed,
+                "bootstraps_per_s": (self._bootstraps / elapsed
+                                     if elapsed > 0 else 0.0),
+                "batch_occupancy": (self._occupancy_sum / self._occupancy_n
+                                    if self._occupancy_n else None),
+                "stage_cycle_fractions": fractions,
+                "hbm_bytes": dict(sorted(self._hbm_bytes.items())),
+                "noise_ops": self._noise_ops,
+                "worst_sigma": self._worst_sigma,
+                "drift_ok": drift_ok,
+                "anomalies": [
+                    {"t_s": t, "reason": reason, "fields": dict(sorted(f.items()))}
+                    for t, reason, f in self._anomalies
+                ],
+                "reports": {k: dict(sorted(v.items()))
+                            for k, v in sorted(self._report.items())},
+            }
+
+    def render(self, width: int = 72) -> str:
+        """Render the panel as fixed-width text (one terminal screen)."""
+        snap = self.snapshot()
+        bar_w = 28
+        lines: List[str] = []
+        title = " repro top "
+        lines.append(title.center(width, "="))
+        workload = snap["workload"] or "-"
+        lines.append(f"workload: {workload:<30s} elapsed: "
+                     f"{snap['elapsed_s']:8.3f} s")
+        lines.append(f"bootstraps: {snap['bootstraps']:>10,.0f}   "
+                     f"rate: {snap['bootstraps_per_s']:>12,.1f} /s")
+        occ = snap["batch_occupancy"]
+        if occ is not None:
+            filled = int(round(min(max(occ, 0.0), 1.0) * bar_w))
+            bar = "#" * filled + "-" * (bar_w - filled)
+            lines.append(f"batch occupancy: [{bar}] {occ:6.1%}")
+        else:
+            lines.append("batch occupancy: (no batch events yet)")
+        lines.append("-" * width)
+        lines.append("stage cycle fractions:")
+        fractions = snap["stage_cycle_fractions"]
+        if fractions:
+            for name, frac in sorted(fractions.items(),
+                                     key=lambda kv: -kv[1])[:8]:
+                filled = int(round(frac * bar_w))
+                bar = "#" * filled + "-" * (bar_w - filled)
+                lines.append(f"  {name:<28.28s} [{bar}] {frac:6.1%}")
+        else:
+            lines.append("  (no cycle counters yet)")
+        hbm_total = sum(snap["hbm_bytes"].values())
+        lines.append(f"HBM traffic: {hbm_total / 2**20:10.1f} MiB over "
+                     f"{len(snap['hbm_bytes'])} channels")
+        lines.append("-" * width)
+        if snap["worst_sigma"] is None:
+            noise_line = f"noise: {snap['noise_ops']} ops, unmeasured"
+        else:
+            verdict = "ok" if snap["drift_ok"] else "DRIFT"
+            noise_line = (f"noise: {snap['noise_ops']} ops, worst sigma "
+                          f"{snap['worst_sigma']:.2f} "
+                          f"(envelope {self.drift_sigmas:.1f}) -> {verdict}")
+        lines.append(noise_line)
+        anomalies = snap["anomalies"]
+        lines.append(f"anomalies ({len(anomalies)} recent):")
+        if anomalies:
+            for a in anomalies:
+                detail = ", ".join(f"{k}={v}" for k, v in a["fields"].items())
+                lines.append(f"  !! {a['reason']:<16.16s} {detail:.{width - 22}s}")
+        else:
+            lines.append("  (none)")
+        lines.append("=" * width)
+        return "\n".join(lines)
+
+
+def run_top(work: Callable[[int], Any], iterations: int = 5,
+            interval_s: float = 0.0, stream: Optional[IO[str]] = None,
+            clear_screen: Optional[bool] = None,
+            bus: Optional[TelemetryBus] = None) -> Dashboard:
+    """Drive ``work`` under a live dashboard, redrawing between rounds.
+
+    ``work`` is called with the iteration index; whatever telemetry it
+    produces lands on the bus and appears on the next redraw.  The
+    caller is responsible for having telemetry enabled (``repro top``
+    wraps this in :func:`repro.observability.telemetry`).  Returns the
+    dashboard so the final state can be inspected or printed.
+    """
+    out: IO[str] = stream if stream is not None else sys.stdout
+    if clear_screen is None:
+        clear_screen = bool(getattr(out, "isatty", lambda: False)())
+    dash = Dashboard(bus=bus)
+    try:
+        for i in range(iterations):
+            work(i)
+            if clear_screen:
+                out.write("\x1b[2J\x1b[H")
+            out.write(dash.render() + "\n")
+            out.flush()
+            if interval_s > 0 and i + 1 < iterations:
+                time.sleep(interval_s)
+    finally:
+        dash.close()
+    return dash

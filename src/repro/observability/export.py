@@ -36,6 +36,8 @@ __all__ = [
     "noise_trace_events",
     "pipeline_trace_events",
     "schedule_trace_events",
+    "merged_trace_events",
+    "flight_trace_events",
     "write_chrome_trace",
 ]
 
@@ -335,6 +337,171 @@ def noise_trace_events(tracker: Any) -> List[dict]:
                 }
             )
     return events
+
+
+def merged_trace_events(sections: Dict[str, List[dict]]) -> List[dict]:
+    """Merge several per-system event lists into one timeline.
+
+    Every exporter above emits events on the single logical process
+    ``pid 0``, so naively concatenating two exporters' outputs collides
+    their thread ids.  This function gives each named *section* its own
+    pid (in sorted section order), prefixed with ``ph: "M"``
+    ``process_name`` metadata, so Perfetto renders the merged file as one
+    timeline with one labelled process group per section.  Events keep
+    their relative order and all other fields.
+    """
+    events: List[dict] = []
+    for pid, section in enumerate(sorted(sections)):
+        section_events = sections[section]
+        if not section_events:
+            continue
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": section},
+            }
+        )
+        for event in section_events:
+            events.append({**event, "pid": pid})
+    return events
+
+
+def flight_trace_events(bundle: Dict[str, Any]) -> List[dict]:
+    """Render a flight-recorder bundle as one merged Chrome timeline.
+
+    The bundle (see :mod:`repro.observability.flightrec`) holds the last
+    window of bus events.  Each event kind maps onto the viewer concept
+    it represents, grouped into per-section process rows via
+    :func:`merged_trace_events`:
+
+    - ``span`` -> ``ph: "X"`` complete events on their recorded track
+      (simulated/wall microseconds, as the tracer stored them);
+    - ``counter``/``metric`` -> ``ph: "C"`` running-total series per
+      counter name, on the bus-time axis;
+    - ``sample`` -> ``ph: "C"`` series on the *simulated*-time axis;
+    - ``noise`` -> the waterfall (``ph: "X"`` at ts = op id, plus a
+      predicted-std counter series), sigma in the args;
+    - everything else (``stage``, ``batch``, ``snapshot``, ``workload``,
+      ``failure_point``, ``anomaly``) -> ``ph: "i"`` instants on a row
+      per kind, bus-time axis, full fields in the args.
+    """
+    records: List[Dict[str, Any]] = list(bundle.get("events", []))
+    t0 = min((float(r["t_s"]) for r in records), default=0.0)
+
+    spans: List[dict] = []
+    counters: List[dict] = []
+    noise: List[dict] = []
+    instants: List[dict] = []
+
+    span_tracks = _track_ids(
+        {str(r["fields"].get("track", "main")) for r in records
+         if r["kind"] == "span"}
+    )
+    spans.extend(_thread_metadata(span_tracks))
+    noise_tracks = _track_ids(
+        {f"noise/{r['fields']['label']}" if r["fields"].get("label") else "noise"
+         for r in records if r["kind"] == "noise"}
+    )
+    noise.extend(_thread_metadata(noise_tracks))
+    instant_tracks = _track_ids(
+        {r["kind"] for r in records
+         if r["kind"] not in ("span", "counter", "metric", "sample", "noise")}
+    )
+    instants.extend(_thread_metadata(instant_tracks))
+
+    totals: Dict[str, float] = {}
+    for r in records:
+        kind = str(r["kind"])
+        fields: Dict[str, Any] = r.get("fields", {})
+        bus_ts = (float(r["t_s"]) - t0) * 1e6
+        if kind == "span":
+            spans.append(
+                {
+                    "name": r["name"],
+                    "cat": fields.get("category") or "span",
+                    "ph": "X",
+                    "ts": float(fields.get("ts_us", bus_ts)),
+                    "dur": float(fields.get("dur_us", r.get("value") or 0.0)),
+                    "pid": _PID,
+                    "tid": span_tracks[str(fields.get("track", "main"))],
+                    "args": to_jsonable(fields.get("args", {})),
+                }
+            )
+        elif kind in ("counter", "metric"):
+            name = str(r["name"])
+            totals[name] = totals.get(name, 0.0) + float(r.get("value") or 0.0)
+            counters.append(
+                {
+                    "name": name,
+                    "cat": f"flight_{kind}",
+                    "ph": "C",
+                    "ts": bus_ts,
+                    "pid": _PID,
+                    "args": {"value": totals[name]},
+                }
+            )
+        elif kind == "sample":
+            counters.append(
+                {
+                    "name": r["name"],
+                    "cat": "flight_sample",
+                    "ph": "C",
+                    "ts": float(fields.get("t_sim_s", 0.0)) * 1e6,
+                    "pid": _PID,
+                    "args": {"value": float(r.get("value") or 0.0)},
+                }
+            )
+        elif kind == "noise":
+            label = fields.get("label")
+            track = f"noise/{label}" if label else "noise"
+            ts = float(fields.get("op_id", 0))
+            noise.append(
+                {
+                    "name": r["name"],
+                    "cat": "noise",
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": 1.0,
+                    "pid": _PID,
+                    "tid": noise_tracks[track],
+                    "args": {
+                        "op_id": fields.get("op_id"),
+                        "predicted_std_log2": fields.get("predicted_std_log2"),
+                        "measured": fields.get("measured"),
+                        "sigma": fields.get("sigma"),
+                    },
+                }
+            )
+            noise.append(
+                {
+                    "name": "predicted_std_log2",
+                    "cat": "noise",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": _PID,
+                    "args": {"value": fields.get("predicted_std_log2")},
+                }
+            )
+        else:
+            instants.append(
+                {
+                    "name": r["name"],
+                    "cat": f"flight_{kind}",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": bus_ts,
+                    "pid": _PID,
+                    "tid": instant_tracks[kind],
+                    "args": to_jsonable({"seq": r["seq"], **fields}),
+                }
+            )
+
+    return merged_trace_events(
+        {"spans": spans, "counters": counters, "noise": noise, "events": instants}
+    )
 
 
 def write_chrome_trace(path: str, events: Iterable[dict],

@@ -30,6 +30,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, List, Optional
 
+from .bus import BUS as _BUS
+
 __all__ = ["Span", "Tracer", "traced"]
 
 
@@ -113,6 +115,10 @@ class Tracer:
                     dict(args or {}))
         with self._lock:
             self._spans.append(span)
+        if _BUS.enabled:
+            _BUS.publish("span", name, value=span.dur_us, ts_us=span.ts_us,
+                         dur_us=span.dur_us, category=category, track=track,
+                         args=span.args)
 
     # -- reads ----------------------------------------------------------
     def spans(self) -> List[Span]:

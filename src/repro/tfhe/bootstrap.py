@@ -30,7 +30,13 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..observability import NOISE as _NOISE, REGISTRY as _METRICS, TRACER as _TRACER
+from ..observability import (
+    BUS as _BUS,
+    NOISE as _NOISE,
+    REGISTRY as _METRICS,
+    TRACER as _TRACER,
+    report_anomaly as _report_anomaly,
+)
 from .decomposition import decompose
 from .ggsw import cmux, external_product_spectrum_batch
 from .glwe import GlweCiphertext, glwe_rotate, glwe_trivial, sample_extract, sample_extract_batch
@@ -367,18 +373,26 @@ def programmable_bootstrap_batch(
     a = np.stack([ct.a for ct in cts])
     b = np.asarray([ct.b for ct in cts], dtype=TORUS_DTYPE)
     tps = np.asarray(test_polys, dtype=TORUS_DTYPE)
-    with _TRACER.span("programmable_bootstrap_batch", category="tfhe",
-                      batch=batch, n=params.n, N=params.N, precision=precision):
-        a_tilde = modswitch(a, 2 * params.N)
-        b_tilde = modswitch(b, 2 * params.N)
-        if trace is not None:
-            trace.ms_operations += batch * (params.n + 1)
-        acc = blind_rotate_batch(
-            a_tilde, b_tilde, tps, keyset, trace=trace, precision=precision
-        )
-        ext_a, ext_b = sample_extract_batch(acc)
-        out_a, out_b = key_switch_batch(ext_a, ext_b, keyset.ksk, trace=trace)
+    try:
+        with _TRACER.span("programmable_bootstrap_batch", category="tfhe",
+                          batch=batch, n=params.n, N=params.N, precision=precision):
+            a_tilde = modswitch(a, 2 * params.N)
+            b_tilde = modswitch(b, 2 * params.N)
+            if trace is not None:
+                trace.ms_operations += batch * (params.n + 1)
+            acc = blind_rotate_batch(
+                a_tilde, b_tilde, tps, keyset, trace=trace, precision=precision
+            )
+            ext_a, ext_b = sample_extract_batch(acc)
+            out_a, out_b = key_switch_batch(ext_a, ext_b, keyset.ksk, trace=trace)
+    except Exception as exc:
+        _report_anomaly("exception", where="programmable_bootstrap_batch",
+                        error=repr(exc), batch=batch)
+        raise
     _BOOTSTRAPS.inc(batch)
+    if _BUS.enabled:
+        _BUS.publish("batch", "tfhe/bootstrap_batch", value=float(batch),
+                     n=params.n, N=params.N, precision=precision)
     results = [LweCiphertext(out_a[r], out_b[r]) for r in range(batch)]
     if _NOISE.enabled:
         tp_rows = np.broadcast_to(tps, (batch, params.N))

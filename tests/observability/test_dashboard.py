@@ -1,0 +1,157 @@
+"""Tests for the `repro top` dashboard: event folding, snapshot, render."""
+
+import io
+
+import pytest
+
+from repro.observability.dashboard import Dashboard, run_top
+
+from . import _golden
+
+
+@pytest.fixture()
+def rig():
+    bus = _golden.make_bus()
+    dash = Dashboard(bus=bus)
+    return bus, dash
+
+
+class TestFolding:
+    def test_batch_events_accumulate_bootstraps_and_occupancy(self, rig):
+        bus, dash = rig
+        bus.publish("batch", "machine/bootstrap_batch", value=48.0, capacity=64)
+        bus.publish("batch", "machine/bootstrap_batch", value=32.0, capacity=64)
+        snap = dash.snapshot()
+        assert snap["bootstraps"] == 80.0
+        assert snap["batch_occupancy"] == pytest.approx((48 / 64 + 32 / 64) / 2)
+
+    def test_batch_without_capacity_counts_bootstraps_only(self, rig):
+        bus, dash = rig
+        bus.publish("batch", "tfhe/bootstrap_batch", value=16.0)
+        snap = dash.snapshot()
+        assert snap["bootstraps"] == 16.0
+        assert snap["batch_occupancy"] is None
+
+    def test_cycle_counters_become_normalized_fractions(self, rig):
+        bus, dash = rig
+        bus.publish("counter", "xpu/stage/rotation", value=75.0, unit="cycles")
+        bus.publish("counter", "xpu/stage/fft", value=25.0, unit="cycles")
+        fractions = dash.snapshot()["stage_cycle_fractions"]
+        assert fractions == {"xpu/stage/fft": 0.25, "xpu/stage/rotation": 0.75}
+
+    def test_byte_counters_tracked_per_channel(self, rig):
+        bus, dash = rig
+        bus.publish("counter", "hbm/channel/0", value=1024.0, unit="bytes")
+        bus.publish("counter", "hbm/channel/0", value=1024.0, unit="bytes")
+        bus.publish("counter", "hbm/channel/1", value=512.0, unit="bytes")
+        assert dash.snapshot()["hbm_bytes"] == {
+            "hbm/channel/0": 2048.0, "hbm/channel/1": 512.0
+        }
+
+    def test_noise_events_track_worst_sigma_and_verdict(self, rig):
+        bus, dash = rig
+        bus.publish("noise", "bootstrap", value=-12.0, sigma=1.5)
+        bus.publish("noise", "bootstrap", value=-12.0, sigma=4.0)
+        bus.publish("noise", "bootstrap", value=-12.0, sigma=2.0)
+        snap = dash.snapshot()
+        assert snap["noise_ops"] == 3
+        assert snap["worst_sigma"] == 4.0
+        assert snap["drift_ok"] is True  # 4.0 <= default 6-sigma envelope
+
+    def test_drift_verdict_flips_past_envelope(self, rig):
+        bus, dash = rig
+        dash.drift_sigmas = 3.0
+        bus.publish("noise", "bootstrap", value=-12.0, sigma=3.5)
+        assert dash.snapshot()["drift_ok"] is False
+
+    def test_anomaly_history_is_bounded(self):
+        bus = _golden.make_bus()
+        dash = Dashboard(bus=bus, anomaly_history=2)
+        for i in range(5):
+            bus.publish("anomaly", f"a{i}", index=i)
+        anomalies = dash.snapshot()["anomalies"]
+        assert [a["reason"] for a in anomalies] == ["a3", "a4"]
+
+    def test_workload_and_snapshot_events_recorded(self, rig):
+        bus, dash = rig
+        bus.publish("workload", "XG-Boost", value=2510.0, layers=3)
+        bus.publish("snapshot", "sim/report", value=1.25e6,
+                    bottleneck="bsk_bandwidth")
+        snap = dash.snapshot()
+        assert snap["workload"] == "XG-Boost"
+        assert snap["reports"]["sim/report"]["bottleneck"] == "bsk_bandwidth"
+
+    def test_elapsed_and_rate_use_bus_time(self, rig):
+        bus, dash = rig
+        # fake clock: 0.5s per publish
+        bus.publish("batch", "b", value=10.0)
+        bus.publish("batch", "b", value=10.0)
+        bus.publish("batch", "b", value=10.0)
+        snap = dash.snapshot()
+        assert snap["elapsed_s"] == pytest.approx(1.0)
+        assert snap["bootstraps_per_s"] == pytest.approx(30.0)
+
+    def test_close_detaches(self, rig):
+        bus, dash = rig
+        dash.close()
+        bus.publish("batch", "b", value=10.0)
+        assert dash.snapshot()["bootstraps"] == 0.0
+
+
+class TestRender:
+    def test_render_shows_all_panels(self, rig):
+        bus, dash = rig
+        _golden.run_scenario(bus)
+        panel = dash.render()
+        assert "repro top" in panel
+        assert "XG-Boost" in panel
+        assert "batch occupancy" in panel and "75.0%" in panel
+        assert "xpu/stage/rotation" in panel
+        assert "HBM traffic" in panel
+        assert "worst sigma 1.40" in panel and "ok" in panel
+        assert "!! latency_spike" in panel
+
+    def test_render_before_any_events(self, rig):
+        _, dash = rig
+        panel = dash.render()
+        assert "(no batch events yet)" in panel
+        assert "(no cycle counters yet)" in panel
+        assert "(none)" in panel
+
+    def test_render_flags_drift(self, rig):
+        bus, dash = rig
+        dash.drift_sigmas = 1.0
+        bus.publish("noise", "bootstrap", value=-12.0, sigma=2.5)
+        assert "DRIFT" in dash.render()
+
+
+class TestRunTop:
+    def test_drives_work_and_redraws_per_round(self):
+        bus = _golden.make_bus()
+        sink = io.StringIO()
+        rounds = []
+
+        def work(i):
+            rounds.append(i)
+            bus.publish("batch", "b", value=float(8 * (i + 1)), capacity=64)
+
+        dash = run_top(work, iterations=3, stream=sink, bus=bus)
+        assert rounds == [0, 1, 2]
+        assert sink.getvalue().count("repro top") == 3
+        assert dash.snapshot()["bootstraps"] == 8.0 + 16.0 + 24.0
+        # detached after the run
+        bus.publish("batch", "b", value=100.0)
+        assert dash.snapshot()["bootstraps"] == 48.0
+
+    def test_no_ansi_clear_on_non_tty(self):
+        bus = _golden.make_bus()
+        sink = io.StringIO()
+        run_top(lambda i: None, iterations=1, stream=sink, bus=bus)
+        assert "\x1b[2J" not in sink.getvalue()
+
+    def test_clear_screen_forced(self):
+        bus = _golden.make_bus()
+        sink = io.StringIO()
+        run_top(lambda i: None, iterations=2, stream=sink, bus=bus,
+                clear_screen=True)
+        assert sink.getvalue().count("\x1b[2J\x1b[H") == 2

@@ -240,3 +240,154 @@ class TestNoiseCommand:
         assert main(["noise", "--workload", "gates"]) == 0
         assert not obs.NOISE.enabled
         assert not obs.NOISE.measuring
+
+
+class TestWorkloadNoise:
+    def test_noise_appends_failure_report(self, capsys):
+        assert main(["workload", "xgboost", "--noise"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "log2(p_fail)" in out
+        assert "within 2^-20 budget: yes" in out
+
+    def test_json_with_noise_carries_failure_block(self, capsys):
+        assert main(["workload", "xgboost", "--noise", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["workload"] == "XG-Boost"
+        assert doc["failure"]["within_budget"] is True
+        assert doc["failure"]["bootstraps"] == doc["bootstraps"]
+        assert doc["failure"]["total_log2_prob"] <= -20.0
+
+    def test_json_without_noise_unchanged(self, capsys):
+        assert main(["workload", "xgboost", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "failure" not in doc
+        assert doc["speedup"] > 1
+
+
+class TestProfileNoise:
+    def test_noise_appends_failure_report(self, capsys):
+        assert main(["profile", "--set", "I", "--no-what-if",
+                     "--noise"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck" in out
+        assert "log2(p_fail)" in out
+
+    def test_json_shape_with_noise(self, capsys):
+        assert main(["profile", "--set", "I", "--no-what-if", "--noise",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"profile", "failure"}
+        assert doc["profile"]["schema_version"] >= 1
+        assert doc["failure"]["params"] == "I"
+
+    def test_json_shape_without_noise_unchanged(self, capsys):
+        assert main(["profile", "--set", "I", "--no-what-if", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "profile" not in doc  # profile fields stay at top level
+        assert "schema_version" in doc
+
+
+class TestTraceMerge:
+    def test_merged_chrome_trace_has_process_groups(self, capsys, tmp_path):
+        path = tmp_path / "merged.json"
+        assert main(["trace", "--iterations", "3", "--chrome", str(path),
+                     "--merge"]) == 0
+        assert "merged Chrome trace" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["merged"] is True
+        events = doc["traceEvents"]
+        names = {e["args"]["name"] for e in events
+                 if e.get("name") == "process_name"}
+        assert names == {"counters", "pipeline"}
+        pids = {e["pid"] for e in events}
+        assert len(pids) == 2  # one process group per section
+
+
+class TestTopCommand:
+    def test_json_snapshot(self, capsys):
+        assert main(["top", "--workload", "xgboost", "--iterations", "2",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["workload"] == "XG-Boost"
+        assert doc["bootstraps"] > 0
+        assert doc["batch_occupancy"] is not None
+        assert doc["stage_cycle_fractions"]
+        assert doc["drift_ok"] is True
+
+    def test_panel_redraws_per_iteration(self, capsys):
+        assert main(["top", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("repro top") == 2
+        assert "batch occupancy" in out
+
+    def test_telemetry_left_disabled_after_run(self):
+        from repro import observability as obs
+
+        assert main(["top", "--iterations", "1", "--json"]) == 0
+        assert not obs.is_enabled()
+
+
+class TestRecordReplay:
+    def test_record_writes_manual_bundle_and_jsonl(self, capsys, tmp_path):
+        bundle_path = tmp_path / "flight.json"
+        jsonl_path = tmp_path / "events.jsonl"
+        assert main(["record", "--workload", "xgboost",
+                     "-o", str(bundle_path), "--jsonl", str(jsonl_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trigger: manual" in out
+        from repro.observability import load_bundle, read_jsonl_events
+
+        bundle = load_bundle(str(bundle_path))
+        kinds = set(bundle["counts"])
+        assert {"span", "counter", "workload", "snapshot"} <= kinds
+        events = read_jsonl_events(str(jsonl_path))
+        assert len(events) == len(bundle["events"])
+
+    def test_record_latency_budget_triggers_spike_bundle(self, capsys, tmp_path):
+        bundle_path = tmp_path / "flight.json"
+        assert main(["record", "--workload", "xgboost",
+                     "-o", str(bundle_path),
+                     "--latency-budget", "1e-12"]) == 0
+        assert "trigger: latency_spike" in capsys.readouterr().out
+        from repro.observability import load_bundle
+
+        bundle = load_bundle(str(bundle_path))
+        assert bundle["trigger"]["reason"] == "latency_spike"
+        assert any(e["kind"] == "anomaly" for e in bundle["events"])
+
+    def test_replay_summarizes_bundle(self, capsys, tmp_path):
+        bundle_path = tmp_path / "flight.json"
+        assert main(["record", "-o", str(bundle_path)]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(bundle_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trigger : manual" in out
+        assert "span" in out and "counter" in out
+
+    def test_replay_json_and_chrome_merged_timeline(self, capsys, tmp_path):
+        bundle_path = tmp_path / "flight.json"
+        chrome_path = tmp_path / "timeline.json"
+        assert main(["record", "-o", str(bundle_path)]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(bundle_path), "--json",
+                     "--chrome", str(chrome_path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["trigger"]["reason"] == "manual"
+        assert doc["events"] == sum(doc["counts"].values())
+        timeline = json.loads(chrome_path.read_text())
+        events = timeline["traceEvents"]
+        sections = {e["args"]["name"] for e in events
+                    if e.get("name") == "process_name"}
+        assert {"spans", "counters"} <= sections
+        assert {"X", "C"} <= {e["ph"] for e in events}
+
+    def test_replay_rejects_non_bundle(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "nope"}')
+        assert main(["replay", str(bad)]) == 2
+        assert "not a flight-recorder bundle" in capsys.readouterr().err
+
+    def test_replay_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "absent.json")]) == 2
+        assert "cannot replay" in capsys.readouterr().err
