@@ -19,7 +19,9 @@ Commands
                  shipped configurations (``--strict`` fails on errors),
                  lint source trees for torus-discipline violations
                  (``--lint PATH``), or verify an encoded instruction
-                 blob end to end (``--binary FILE``)
+                 blob end to end (``--binary FILE``); ``--occupancy`` /
+                 ``--noise-budget`` attach the abstract-interpretation
+                 proofs (buffer high-water marks, static failure bound)
 ``noise``        run a boolean-gate workload under noise telemetry:
                  per-op predicted noise, drift verdicts, and the
                  decryption-failure probability (``--measure`` decrypts
@@ -184,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--binary", metavar="FILE", default=None,
                      help="decode an isa_encoding instruction blob and run "
                           "the verifier pass pipeline on it")
+    ver.add_argument("--occupancy", action="store_true",
+                     help="attach the VER007 occupancy-over-time proof "
+                          "(per-buffer high-water marks) to each report")
+    ver.add_argument("--noise-budget", action="store_true",
+                     help="attach the VER008 static noise-budget report "
+                          "(predicted failure probability) to each report")
 
     noi = sub.add_parser(
         "noise",
@@ -527,6 +535,8 @@ def _cmd_verify(args) -> int:
         list_rules=args.list_rules,
         target=args.target,
         binary=args.binary,
+        occupancy=args.occupancy,
+        noise_budget=args.noise_budget,
     )
 
 

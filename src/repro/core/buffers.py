@@ -21,6 +21,7 @@ and the core count exactly as the formula says.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -75,7 +76,8 @@ def acc_stream_capacity(config: MorphlingConfig, params: TFHEParams) -> int:
     return max(0, min(config.max_acc_streams, config.private_a1_bytes // per_stream))
 
 
-def buffer_budget(config: MorphlingConfig, params: TFHEParams, streams: int = None) -> BufferBudget:
+def buffer_budget(config: MorphlingConfig, params: TFHEParams,
+                  streams: Optional[int] = None) -> BufferBudget:
     """Bytes each buffer needs for ``streams`` resident ciphertext streams.
 
     - Private-A1: the ACC residency computed above plus the switched LWE
@@ -112,7 +114,7 @@ class DoublePointerRotator:
     pipeline never stalls on the rotation amount.
     """
 
-    def __init__(self, poly: np.ndarray, vector_width: int = 8):
+    def __init__(self, poly: np.ndarray, vector_width: int = 8) -> None:
         poly = np.asarray(poly, dtype=np.uint32)
         if poly.ndim != 1:
             raise ValueError("rotator stores one polynomial at a time")

@@ -20,6 +20,7 @@ system would drive it:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..params import TFHEParams
 from .accelerator import MorphlingConfig
@@ -53,7 +54,7 @@ class CompilationReport:
         )
 
 
-def _to_layers(program):
+def _to_layers(program: object) -> Tuple[str, List[object]]:
     """Accept a Workload, a Circuit, or a plain layer list."""
     from ..apps.workload import Workload
     from ..tfhe.boolean import Circuit
@@ -71,7 +72,8 @@ def _to_layers(program):
 
 
 def compile_program(
-    program, config: MorphlingConfig, params: TFHEParams, verify: bool = True
+    program: object, config: MorphlingConfig, params: TFHEParams,
+    verify: bool = True,
 ) -> tuple:
     """Lower a program; returns ``(name, stream, binary)``.
 
@@ -90,8 +92,8 @@ def compile_program(
 
 
 def compile_and_run(
-    program, config: MorphlingConfig = None, params: TFHEParams = None,
-    verify: bool = True,
+    program: object, config: Optional[MorphlingConfig] = None,
+    params: Optional[TFHEParams] = None, verify: bool = True,
 ) -> CompilationReport:
     """Full pipeline: lower, verify, serialize, execute, report."""
     from ..params import get_params

@@ -14,7 +14,10 @@ resource model of the paper's pipelined execution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle at runtime)
+    from ..verify.occupancy import OccupancyProof
 
 from ..observability import (
     BUS as _BUS,
@@ -77,7 +80,7 @@ class ScheduleResult:
     instructions: int
     groups: int
     padding_waste: float  # fraction of scheduled bootstrap slots unused
-    spans: list = None  # (engine, op, group, start, end) when recorded
+    spans: Optional[list] = None  # (engine, op, group, start, end) when recorded
 
     @property
     def utilization(self) -> dict:
@@ -90,7 +93,7 @@ class ScheduleResult:
 class SwScheduler:
     """Lower application layers into a dependency-correct instruction stream."""
 
-    def __init__(self, config: MorphlingConfig, params: TFHEParams):
+    def __init__(self, config: MorphlingConfig, params: TFHEParams) -> None:
         self.config = config
         self.params = params
         streams = max(1, acc_stream_capacity(config, params))
@@ -218,12 +221,22 @@ class HwScheduler:
     decoupled XPU/VPU pipelining through the Shared buffer.
     """
 
-    def __init__(self, config: MorphlingConfig, params: TFHEParams):
+    def __init__(self, config: MorphlingConfig, params: TFHEParams) -> None:
         self.config = config
         self.params = params
         self.xpu = XpuModel(config, params)
         self.vpu = VpuModel(config, params)
         self.hbm = HbmModel(config)
+
+    def occupancy_proof(self, stream: InstructionStream) -> "OccupancyProof":
+        """Static occupancy proof for ``stream`` - the admission-control
+        view of :class:`repro.verify.occupancy.OccupancyModel`, shared
+        with the VER007 verifier pass so scheduler and verifier agree on
+        one resource model.
+        """
+        from ..verify.occupancy import OccupancyModel
+
+        return OccupancyModel(self.config, self.params).analyze(list(stream))
 
     # -- per-instruction timing ----------------------------------------
     def _duration(self, inst: Instruction) -> float:

@@ -6,11 +6,16 @@ Two heads, one diagnostic model:
   checks compiled :mod:`repro.core.isa` instruction streams before the
   HW-scheduler timing model executes them - def-before-use operands,
   buffer-capacity fits, opcode/engine compatibility, RAW/WAR stage
-  ordering, HBM transfer sanity (codes ``VER001``-``VER006``);
+  ordering, HBM transfer sanity (codes ``VER001``-``VER006``), plus the
+  abstract-interpretation analyses: occupancy-over-time proofs
+  (``VER007``, :mod:`repro.verify.occupancy`) and static noise-budget
+  bounds (``VER008``, :mod:`repro.verify.noisepass`);
 - the **domain linter** (:mod:`repro.verify.lint` +
   :mod:`repro.verify.rules`) enforces torus-arithmetic and
   transform-usage discipline over the source tree with pluggable
-  AST rules (codes ``RPR001``-``RPR005``) and ruff-style inline
+  AST rules (codes ``RPR001``-``RPR006``), an alias-aware
+  reaching-definitions pass (:mod:`repro.verify.dataflow`) so the
+  numpy rules survive ``import numpy as xp``, and ruff-style inline
   suppressions (``# repro: allow[RPR002] why``).
 
 Both run from the CLI (``repro verify``, ``repro verify --lint src``)
@@ -19,6 +24,7 @@ every compile unless asked not to (``verify=False``).
 """
 
 from .diagnostics import (
+    VERIFY_SCHEMA_VERSION,
     Diagnostic,
     RuleInfo,
     Severity,
@@ -35,12 +41,19 @@ from .lint import (
 from .program import (
     PROGRAM_PASSES,
     program_rule_catalog,
+    register_program_pass,
     verify_or_raise,
     verify_stream,
 )
+# Import order is catalog order: VER007 then VER008 register after the
+# structural VER001-VER006 passes above.
+from .occupancy import OccupancyModel, OccupancyProof
+from .noisepass import StaticNoiseReport, static_noise_report
+from .dataflow import QualifiedUse, resolve_qualified_uses
 from . import rules as _rules  # noqa: F401  (registers the lint rules)
 
 __all__ = [
+    "VERIFY_SCHEMA_VERSION",
     "Severity",
     "Diagnostic",
     "RuleInfo",
@@ -49,7 +62,14 @@ __all__ = [
     "verify_stream",
     "verify_or_raise",
     "PROGRAM_PASSES",
+    "register_program_pass",
     "program_rule_catalog",
+    "OccupancyModel",
+    "OccupancyProof",
+    "StaticNoiseReport",
+    "static_noise_report",
+    "QualifiedUse",
+    "resolve_qualified_uses",
     "lint_source",
     "lint_file",
     "lint_paths",

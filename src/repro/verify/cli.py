@@ -21,11 +21,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from .diagnostics import VerifyReport
+from .diagnostics import VERIFY_SCHEMA_VERSION, VerifyReport
 from .lint import lint_paths, lint_rule_catalog
 from .program import program_rule_catalog, verify_stream
 
-__all__ = ["VerifyTarget", "shipped_targets", "verify_target", "verify_binary", "run"]
+__all__ = [
+    "VerifyTarget",
+    "shipped_targets",
+    "verify_target",
+    "verify_binary",
+    "report_document",
+    "run",
+]
 
 
 @dataclass(frozen=True)
@@ -88,16 +95,38 @@ def _make_config(name: str):
     }[name]()
 
 
-def verify_target(target: VerifyTarget) -> VerifyReport:
-    """Compile one shipped target and verify the instruction stream."""
+def verify_target(
+    target: VerifyTarget,
+    occupancy: bool = False,
+    noise_budget: bool = False,
+) -> VerifyReport:
+    """Compile one shipped target and verify the instruction stream.
+
+    ``occupancy``/``noise_budget`` attach the VER007 occupancy proof and
+    the VER008 static noise report to the result (the passes themselves
+    always run; the flags add the full evidence to the report output).
+    """
     from ..core.scheduler import SwScheduler
     from ..params import get_params
 
     config = _make_config(target.config_name)
     params = get_params(target.param_set)
     stream = SwScheduler(config, params).schedule(target.make_layers())
-    return verify_stream(stream, config=config, params=params,
-                         subject=target.name)
+    report = verify_stream(stream, config=config, params=params,
+                           subject=target.name)
+    if occupancy:
+        from .occupancy import OccupancyModel
+
+        report.attachments["occupancy"] = OccupancyModel(
+            config, params
+        ).analyze(list(stream), subject=target.name)
+    if noise_budget:
+        from .noisepass import static_noise_report
+
+        report.attachments["noise_budget"] = static_noise_report(
+            list(stream), params
+        )
+    return report
 
 
 def _render_catalog() -> str:
@@ -123,6 +152,19 @@ def verify_binary(path: str) -> VerifyReport:
     return verify_stream(stream, subject=path)
 
 
+def report_document(reports: List[VerifyReport]) -> dict:
+    """The versioned ``repro verify --json`` document for ``reports``.
+
+    Schema pinned by :data:`repro.verify.diagnostics.VERIFY_SCHEMA_VERSION`
+    and the golden file under ``tests/verify/golden/``.
+    """
+    return {
+        "schema_version": VERIFY_SCHEMA_VERSION,
+        "ok": all(r.ok for r in reports),
+        "reports": [r.to_jsonable() for r in reports],
+    }
+
+
 def run(
     lint: Optional[List[str]] = None,
     strict: bool = False,
@@ -130,6 +172,8 @@ def run(
     list_rules: bool = False,
     target: Optional[str] = None,
     binary: Optional[str] = None,
+    occupancy: bool = False,
+    noise_budget: bool = False,
     _print: Callable[[str], None] = print,
 ) -> int:
     """Execute the verify command; returns the process exit code."""
@@ -151,16 +195,15 @@ def run(
             if not targets:
                 _print(f"no shipped target matches {target!r}")
                 return 2
-        reports = [verify_target(t) for t in targets]
+        reports = [
+            verify_target(t, occupancy=occupancy, noise_budget=noise_budget)
+            for t in targets
+        ]
     failed = sum(0 if r.ok else 1 for r in reports)
     if as_json:
         import json
 
-        _print(json.dumps(
-            {"ok": failed == 0,
-             "reports": [r.to_jsonable() for r in reports]},
-            indent=2, sort_keys=True,
-        ))
+        _print(json.dumps(report_document(reports), indent=2, sort_keys=True))
     else:
         for report in reports:
             _print(report.render())

@@ -1,0 +1,336 @@
+"""Intra-module reaching definitions for import/alias bindings.
+
+The lint rules in :mod:`repro.verify.rules` need to know what a name
+*means* at a use site: ``xp.fft.fft(x)`` bypasses the instrumented FFT
+exactly when ``xp`` is numpy, however it was spelled.  This module is
+the lightweight dataflow pass behind that question - an abstract
+interpretation over the statement list where the abstract value of a
+name is the set of dotted *origin paths* it may be bound to
+(``{"numpy"}``, ``{"numpy.fft"}``, ...).
+
+Semantics, deliberately simple:
+
+- ``import numpy as xp`` binds ``xp -> {"numpy"}``; ``from numpy import
+  fft as F`` binds ``F -> {"numpy.fft"}``; imports of untracked modules
+  bind the name to the empty set (killing any earlier binding).
+- ``alias = np`` / ``alias = np.fft`` propagate the resolved path of a
+  pure ``Name``/``Attribute`` chain; any other right-hand side kills the
+  target (rebinding to an unknown value).
+- Branches (``if``/``try``/loops) merge by union - a use is flagged
+  when *any* path reaches it with a numpy origin (may-analysis: lint
+  wants no false negatives across branches).
+- Function and class bodies execute on a copy of the enclosing
+  environment with parameters killed; their rebindings do not leak out.
+
+The pass yields :class:`QualifiedUse` records - every maximal
+``Name``/``Attribute`` chain whose base resolves to a tracked origin -
+which the rules filter by path prefix.  The default environment seeds
+``np``/``numpy`` as numpy so bare snippets without imports keep linting
+the way they always have.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "QualifiedUse",
+    "DEFAULT_ASSUMED_BINDINGS",
+    "resolve_qualified_uses",
+]
+
+Origins = FrozenSet[str]
+Env = Dict[str, Origins]
+
+#: Names assumed bound when a module never imports them: conventional
+#: numpy spellings, so snippet-level linting stays alias-aware *and*
+#: backwards compatible.
+DEFAULT_ASSUMED_BINDINGS: Dict[str, str] = {"np": "numpy", "numpy": "numpy"}
+
+_EMPTY: Origins = frozenset()
+
+
+@dataclass(frozen=True)
+class QualifiedUse:
+    """One use of a name chain that resolves into a tracked module."""
+
+    lineno: int
+    path: str      # canonical dotted origin, e.g. "numpy.fft.fft"
+    spelled: str   # how the source wrote it, e.g. "xp.fft.fft"
+    is_call: bool  # the chain is the callee of a Call
+
+
+def _tracked(path: str, roots: Tuple[str, ...]) -> bool:
+    return any(path == r or path.startswith(r + ".") for r in roots)
+
+
+class _BindingWalker:
+    """Statement-ordered abstract interpreter collecting qualified uses."""
+
+    def __init__(self, roots: Tuple[str, ...], assume: Dict[str, str]) -> None:
+        self.roots = roots
+        self.assume = assume
+        self.uses: List[QualifiedUse] = []
+
+    # -- name resolution ------------------------------------------------
+    def _base_origins(self, name: str, env: Env) -> Origins:
+        if name in env:
+            return env[name]
+        assumed = self.assume.get(name)
+        if assumed is not None and _tracked(assumed, self.roots):
+            return frozenset({assumed})
+        return _EMPTY
+
+    def _chain(self, node: ast.AST) -> Optional[Tuple[str, List[str]]]:
+        """``(base name, attribute list)`` for a pure Name/Attribute chain."""
+        attrs: List[str] = []
+        while isinstance(node, ast.Attribute):
+            attrs.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            attrs.reverse()
+            return node.id, attrs
+        return None
+
+    def _resolve_chain(self, node: ast.AST, env: Env) -> Optional[Origins]:
+        """Origin paths of a pure chain, or None when not a chain."""
+        chain = self._chain(node)
+        if chain is None:
+            return None
+        base, attrs = chain
+        origins = self._base_origins(base, env)
+        if not origins:
+            return _EMPTY
+        suffix = "".join("." + a for a in attrs)
+        return frozenset(o + suffix for o in origins)
+
+    # -- expression uses ------------------------------------------------
+    def _emit_chain(self, node: ast.AST, env: Env, is_call: bool) -> bool:
+        """Record a use when ``node`` is a resolvable chain; True if so."""
+        chain = self._chain(node)
+        if chain is None:
+            return False
+        base, attrs = chain
+        spelled = ".".join([base] + attrs)
+        for origin in self._base_origins(base, env):
+            path = origin + "".join("." + a for a in attrs)
+            if _tracked(path, self.roots):
+                self.uses.append(QualifiedUse(
+                    lineno=getattr(node, "lineno", 0), path=path,
+                    spelled=spelled, is_call=is_call,
+                ))
+        return True
+
+    def visit_expr(self, node: Optional[ast.AST], env: Env) -> None:
+        if node is None:
+            return
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            if self._emit_chain(node, env, is_call=False):
+                return
+            # f(x).attr - not a pure chain; look inside.
+            if isinstance(node, ast.Attribute):
+                self.visit_expr(node.value, env)
+            return
+        if isinstance(node, ast.Call):
+            if not self._emit_chain(node.func, env, is_call=True):
+                self.visit_expr(node.func, env)
+            for arg in node.args:
+                self.visit_expr(arg, env)
+            for kw in node.keywords:
+                self.visit_expr(kw.value, env)
+            return
+        if isinstance(node, ast.Lambda):
+            inner = dict(env)
+            self._kill_arguments(node.args, inner)
+            self.visit_expr(node.body, inner)
+            return
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            inner = dict(env)
+            for gen in node.generators:
+                self.visit_expr(gen.iter, inner)
+                self._kill_target(gen.target, inner)
+                for cond in gen.ifs:
+                    self.visit_expr(cond, inner)
+            if isinstance(node, ast.DictComp):
+                self.visit_expr(node.key, inner)
+                self.visit_expr(node.value, inner)
+            else:
+                self.visit_expr(node.elt, inner)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.visit_expr(child, env)
+
+    # -- binding helpers -------------------------------------------------
+    def _kill_target(self, target: ast.AST, env: Env) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                env[node.id] = _EMPTY
+
+    def _kill_arguments(self, args: ast.arguments, env: Env) -> None:
+        all_args = list(args.args) + list(args.kwonlyargs)
+        all_args += getattr(args, "posonlyargs", [])
+        for arg in all_args:
+            env[arg.arg] = _EMPTY
+        for vararg in (args.vararg, args.kwarg):
+            if vararg is not None:
+                env[vararg.arg] = _EMPTY
+
+    def _merge(self, env: Env, branches: Sequence[Env]) -> None:
+        keys = set()
+        for b in branches:
+            keys.update(b)
+        env.clear()
+        env.update({
+            k: frozenset().union(*(b.get(k, _EMPTY) for b in branches))
+            for k in keys
+        })
+
+    # -- statements -------------------------------------------------------
+    def exec_block(self, stmts: Iterable[ast.stmt], env: Env) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: ast.stmt, env: Env) -> None:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                env[bound] = (frozenset({origin})
+                              if _tracked(origin, self.roots) else _EMPTY)
+        elif isinstance(stmt, ast.ImportFrom):
+            module = stmt.module or ""
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                if stmt.level:  # relative import: never a tracked origin
+                    env[bound] = _EMPTY
+                    continue
+                origin = f"{module}.{alias.name}" if module else alias.name
+                env[bound] = (frozenset({origin})
+                              if _tracked(origin, self.roots) else _EMPTY)
+        elif isinstance(stmt, ast.Assign):
+            self.visit_expr(stmt.value, env)
+            resolved = self._resolve_chain(stmt.value, env)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and resolved is not None:
+                    env[target.id] = resolved
+                else:
+                    self._kill_target(target, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            self.visit_expr(stmt.value, env)
+            resolved = (self._resolve_chain(stmt.value, env)
+                        if stmt.value is not None else None)
+            if isinstance(stmt.target, ast.Name) and resolved is not None:
+                env[stmt.target.id] = resolved
+            else:
+                self._kill_target(stmt.target, env)
+        elif isinstance(stmt, ast.AugAssign):
+            self.visit_expr(stmt.value, env)
+            self._kill_target(stmt.target, env)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for dec in stmt.decorator_list:
+                self.visit_expr(dec, env)
+            for default in list(stmt.args.defaults) + [
+                    d for d in stmt.args.kw_defaults if d is not None]:
+                self.visit_expr(default, env)
+            env[stmt.name] = _EMPTY
+            inner = dict(env)
+            self._kill_arguments(stmt.args, inner)
+            self.exec_block(stmt.body, inner)
+        elif isinstance(stmt, ast.ClassDef):
+            for dec in stmt.decorator_list:
+                self.visit_expr(dec, env)
+            for base in stmt.bases:
+                self.visit_expr(base, env)
+            for kw in stmt.keywords:
+                self.visit_expr(kw.value, env)
+            env[stmt.name] = _EMPTY
+            inner = dict(env)
+            self.exec_block(stmt.body, inner)
+        elif isinstance(stmt, ast.If):
+            self.visit_expr(stmt.test, env)
+            then_env = dict(env)
+            self.exec_block(stmt.body, then_env)
+            else_env = dict(env)
+            self.exec_block(stmt.orelse, else_env)
+            self._merge(env, (then_env, else_env))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.visit_expr(stmt.iter, env)
+            body_env = dict(env)
+            self._kill_target(stmt.target, body_env)
+            self.exec_block(stmt.body, body_env)
+            self.exec_block(stmt.orelse, body_env)
+            self._merge(env, (env, body_env))
+        elif isinstance(stmt, ast.While):
+            self.visit_expr(stmt.test, env)
+            body_env = dict(env)
+            self.exec_block(stmt.body, body_env)
+            self.exec_block(stmt.orelse, body_env)
+            self._merge(env, (env, body_env))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.visit_expr(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._kill_target(item.optional_vars, env)
+            self.exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            body_env = dict(env)
+            self.exec_block(stmt.body, body_env)
+            branches = [body_env]
+            for handler in stmt.handlers:
+                h_env = dict(env)
+                if handler.type is not None:
+                    self.visit_expr(handler.type, h_env)
+                if handler.name:
+                    h_env[handler.name] = _EMPTY
+                self.exec_block(handler.body, h_env)
+                branches.append(h_env)
+            self._merge(env, branches)
+            self.exec_block(stmt.orelse, env)
+            self.exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._kill_target(target, env)
+        elif isinstance(stmt, (ast.Global, ast.Nonlocal, ast.Pass,
+                               ast.Break, ast.Continue)):
+            pass
+        else:
+            # Expr/Return/Raise/Assert/Match/...: evaluate contained
+            # expressions for uses, recurse into any nested statements
+            # (conservative: no kills).
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.visit_expr(child, env)
+                elif isinstance(child, ast.stmt):
+                    self.exec_stmt(child, env)
+                else:  # e.g. a match_case: one level of nested bodies
+                    for sub in ast.iter_child_nodes(child):
+                        if isinstance(sub, ast.expr):
+                            self.visit_expr(sub, env)
+                        elif isinstance(sub, ast.stmt):
+                            self.exec_stmt(sub, env)
+
+
+def resolve_qualified_uses(
+    tree: ast.AST,
+    roots: Tuple[str, ...] = ("numpy",),
+    assume: Optional[Dict[str, str]] = None,
+) -> List[QualifiedUse]:
+    """All uses in ``tree`` whose chain resolves into one of ``roots``.
+
+    ``assume`` seeds bindings for names the module never defines
+    (default: ``np``/``numpy`` mean numpy); explicit imports and
+    assignments in the module always win over the assumption.
+    """
+    walker = _BindingWalker(
+        roots, DEFAULT_ASSUMED_BINDINGS if assume is None else assume
+    )
+    body = tree.body if isinstance(tree, ast.Module) else [tree]
+    env: Env = {}
+    walker.exec_block([s for s in body if isinstance(s, ast.stmt)], env)
+    return walker.uses

@@ -16,12 +16,21 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 __all__ = [
+    "VERIFY_SCHEMA_VERSION",
     "Severity",
     "Diagnostic",
     "VerifyReport",
     "VerificationError",
     "RuleInfo",
 ]
+
+#: Version of the ``repro verify --json`` document shape.  v1 was the
+#: unversioned PR-2 layout (``{"ok", "reports": [{subject, ok,
+#: diagnostics}]}``); v2 adds this marker plus optional per-report
+#: ``occupancy``/``noise_budget`` attachment sections.  Any change to
+#: field names or nesting must bump this and regenerate the golden file
+#: (``tests/verify/_golden.py``).
+VERIFY_SCHEMA_VERSION = 2
 
 
 class Severity(enum.Enum):
@@ -84,10 +93,16 @@ class Diagnostic:
 
 @dataclass
 class VerifyReport:
-    """All diagnostics from one verification or lint run."""
+    """All diagnostics from one verification or lint run.
+
+    ``attachments`` carries optional named analysis artifacts riding
+    along with the diagnostics (occupancy proofs, static noise reports):
+    any object exposing ``to_jsonable()`` and ``render_text()``.
+    """
 
     subject: str = "<stream>"
     diagnostics: list = field(default_factory=list)
+    attachments: dict = field(default_factory=dict)
 
     def add(self, diag: Diagnostic) -> None:
         self.diagnostics.append(diag)
@@ -117,10 +132,12 @@ class VerifyReport:
         if self.warnings:
             verdict += f", {len(self.warnings)} warning(s)"
         lines.append(f"{self.subject}: {verdict}")
+        for attachment in self.attachments.values():
+            lines.append(attachment.render_text())
         return "\n".join(lines)
 
     def to_jsonable(self) -> dict:
-        return {
+        doc = {
             "subject": self.subject,
             "ok": self.ok,
             "diagnostics": [
@@ -133,6 +150,9 @@ class VerifyReport:
                 for d in self.diagnostics
             ],
         }
+        for name, attachment in self.attachments.items():
+            doc[name] = attachment.to_jsonable()
+        return doc
 
 
 class VerificationError(ValueError):

@@ -107,7 +107,7 @@ def lint_source(
         ))
         return report
     scope = module_scope(path)
-    suppressed = collect_suppressions(source)
+    suppressed = collect_suppressions(source, tree)
     wanted = set(rules) if rules is not None else None
     for rule in LINT_RULES:
         if wanted is not None and rule.code not in wanted:

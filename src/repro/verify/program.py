@@ -24,6 +24,12 @@ Pass catalog
             in that order (the scheduler's in-order queue assumption)
 ``VER006``  HBM transfer sanity: empty or word-misaligned DMA payloads,
             LWE transfers inconsistent with their ciphertext count
+``VER007``  occupancy-over-time: aggregate Shared/Private buffer
+            occupancy across the abstract timeline must fit capacity
+            (:mod:`repro.verify.occupancy`)
+``VER008``  static noise budget: predicted CGGI failure probability
+            within the 2^-20 budget (:mod:`repro.verify.noisepass`,
+            warning severity)
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ __all__ = [
     "VerifyContext",
     "ProgramPass",
     "PROGRAM_PASSES",
+    "register_program_pass",
     "program_rule_catalog",
     "verify_stream",
     "verify_or_raise",
@@ -84,14 +91,23 @@ class ProgramPass:
 PROGRAM_PASSES: List[ProgramPass] = []
 
 
-def _register(code: str, name: str, summary: str,
-              severity: Severity = Severity.ERROR) -> Callable[[PassFn], PassFn]:
+def register_program_pass(code: str, name: str, summary: str,
+                          severity: Severity = Severity.ERROR) -> Callable[[PassFn], PassFn]:
+    """Register a verifier pass under a stable ``VERxxx`` code (decorator).
+
+    Public so analyses can live in their own modules (the occupancy and
+    noise-budget passes do); registration order is catalog order.
+    """
     def deco(fn: PassFn) -> PassFn:
         PROGRAM_PASSES.append(
             ProgramPass(RuleInfo(code, name, summary, severity), fn)
         )
         return fn
     return deco
+
+
+#: Backwards-compatible internal alias (the VER001-VER006 passes below).
+_register = register_program_pass
 
 
 def program_rule_catalog() -> List[RuleInfo]:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Tuple
 
+from .dataflow import resolve_qualified_uses
 from .diagnostics import Severity
 from .lint import ModuleScope, lint_rule
 
@@ -153,7 +154,8 @@ def _narrow_dtype(tree: ast.AST) -> Iterator[Tuple[int, str]]:
 @lint_rule(
     "RPR004", "direct-numpy-fft",
     "direct numpy.fft usage outside repro.transforms; use the "
-    "negacyclic/merge-split wrappers so transform counts stay observable",
+    "negacyclic/merge-split wrappers so transform counts stay observable "
+    "(alias-aware: survives `import numpy as xp` and rebinding)",
     applies=lambda s: not s.in_transforms,
 )
 def _direct_fft(tree: ast.AST) -> Iterator[Tuple[int, str]]:
@@ -164,10 +166,22 @@ def _direct_fft(tree: ast.AST) -> Iterator[Tuple[int, str]]:
                 yield (node.lineno, "import from numpy.fft; use repro.transforms")
             elif module == "numpy" and any(a.name == "fft" for a in node.names):
                 yield (node.lineno, "import of numpy's fft; use repro.transforms")
-        elif isinstance(node, ast.Attribute) and _numpy_attr(node.value) == "fft":
-            yield (node.lineno,
-                   f"np.fft.{node.attr} bypasses repro.transforms (the "
-                   f"instrumented negacyclic FFT)")
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if (alias.name == "numpy.fft"
+                        or alias.name.startswith("numpy.fft.")):
+                    yield (node.lineno,
+                           "import of numpy.fft; use repro.transforms")
+    for use in resolve_qualified_uses(tree):
+        # Strict children only: holding a reference to the module
+        # (`F = np.fft`) is fine until a transform is actually called.
+        if use.path.startswith("numpy.fft."):
+            alias_note = ("" if use.spelled == use.path.replace("numpy", "np", 1)
+                          or use.spelled == use.path
+                          else f" (= {use.path})")
+            yield (use.lineno,
+                   f"{use.spelled}{alias_note} bypasses repro.transforms "
+                   f"(the instrumented negacyclic FFT)")
 
 
 # ----------------------------------------------------------------------
@@ -176,20 +190,20 @@ def _direct_fft(tree: ast.AST) -> Iterator[Tuple[int, str]]:
 @lint_rule(
     "RPR005", "global-rng",
     "legacy np.random.* global-state call; experiments must stay "
-    "reproducible - thread a seeded np.random.Generator instead",
+    "reproducible - thread a seeded np.random.Generator instead "
+    "(alias-aware: survives `import numpy as xp` and rebinding)",
     applies=lambda s: True,
     severity=Severity.WARNING,
 )
 def _global_rng(tree: ast.AST) -> Iterator[Tuple[int, str]]:
-    for node in ast.walk(tree):
-        if not (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in LEGACY_RNG_FUNCS
-                and _numpy_attr(node.func.value) == "random"):
+    for use in resolve_qualified_uses(tree):
+        if not use.is_call or not use.path.startswith("numpy.random."):
             continue
-        yield (node.lineno,
-               f"np.random.{node.func.attr}() draws from hidden global "
-               f"state; use np.random.default_rng(seed)")
+        func = use.path[len("numpy.random."):]
+        if func in LEGACY_RNG_FUNCS:
+            yield (use.lineno,
+                   f"{use.spelled}() draws from hidden global state; use "
+                   f"np.random.default_rng(seed)")
 
 
 # ----------------------------------------------------------------------

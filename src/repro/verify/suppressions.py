@@ -12,23 +12,44 @@ carry a trailing comment::
     spectrum = negacyclic_fft(digits.astype(np.float64))
 
 Multiple codes separate with commas: ``# repro: allow[RPR001,RPR004]``.
-Suppressions are deliberately line-scoped - there is no file- or
+Suppressions are deliberately *statement*-scoped - there is no file- or
 block-level escape hatch - so every exemption sits next to the code it
-excuses, with its one-line justification.
+excuses, with its one-line justification.  A marker anywhere within a
+multi-line simple statement (a call spanning several lines, a wrapped
+expression) covers the statement's whole line range when the caller
+passes the parsed tree; compound statements (``if``/``for``/``def``/...)
+are deliberately *not* expanded - suppressing a header must never
+silence the block under it.
 """
 
 from __future__ import annotations
 
+import ast
 import re
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 __all__ = ["SUPPRESS_RE", "collect_suppressions", "is_suppressed"]
 
 SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9_,\s]+)\]")
 
+#: Statements whose bodies must never inherit a header suppression.
+_COMPOUND_STMTS = (
+    ast.If, ast.For, ast.AsyncFor, ast.While, ast.With, ast.AsyncWith,
+    ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+)
 
-def collect_suppressions(source: str) -> Dict[int, Set[str]]:
-    """Map line number (1-based) -> set of suppressed rule codes."""
+
+def collect_suppressions(
+    source: str, tree: Optional[ast.AST] = None
+) -> Dict[int, Set[str]]:
+    """Map line number (1-based) -> set of suppressed rule codes.
+
+    With ``tree`` (the parsed module), markers on any line of a
+    multi-line *simple* statement are expanded over the statement's
+    full ``lineno..end_lineno`` range, so a finding reported at the
+    first line of a wrapped call is covered by a trailing comment on
+    its closing parenthesis (and vice versa).
+    """
     suppressed: Dict[int, Set[str]] = {}
     pending: Set[str] = set()
     for lineno, line in enumerate(source.splitlines(), start=1):
@@ -47,7 +68,29 @@ def collect_suppressions(source: str) -> Dict[int, Set[str]]:
         if codes or pending:
             suppressed.setdefault(lineno, set()).update(codes | pending)
         pending = set()
+    if tree is not None and suppressed:
+        _expand_statement_spans(suppressed, tree)
     return suppressed
+
+
+def _expand_statement_spans(
+    suppressed: Dict[int, Set[str]], tree: ast.AST
+) -> None:
+    """Spread each simple statement's codes over its full line range."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt) or isinstance(node, _COMPOUND_STMTS):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if end <= node.lineno:
+            continue
+        span = range(node.lineno, end + 1)
+        codes: Set[str] = set()
+        for lineno in span:
+            codes |= suppressed.get(lineno, set())
+        if not codes:
+            continue
+        for lineno in span:
+            suppressed.setdefault(lineno, set()).update(codes)
 
 
 def is_suppressed(suppressed: Dict[int, Set[str]], lineno: int, code: str) -> bool:

@@ -1,0 +1,149 @@
+"""Reaching-definitions resolver behind the alias-aware lint rules."""
+
+import ast
+import textwrap
+
+from repro.verify.dataflow import resolve_qualified_uses
+
+
+def uses(source, **kwargs):
+    tree = ast.parse(textwrap.dedent(source))
+    return resolve_qualified_uses(tree, **kwargs)
+
+
+def paths(source, **kwargs):
+    return [u.path for u in uses(source, **kwargs)]
+
+
+class TestImportBindings:
+    def test_import_alias_resolves(self):
+        found = uses("import numpy as xp\nspec = xp.fft.fft(x)\n")
+        assert [(u.path, u.spelled, u.is_call) for u in found] == [
+            ("numpy.fft.fft", "xp.fft.fft", True)]
+
+    def test_from_import_alias_resolves(self):
+        found = uses("from numpy import fft as F\ny = F.rfft(x)\n")
+        assert [(u.path, u.spelled) for u in found] == [
+            ("numpy.fft.rfft", "F.rfft")]
+
+    def test_untracked_module_stays_silent(self):
+        assert paths("import torch\ny = torch.fft.fft(x)\n") == []
+
+    def test_relative_import_never_tracked(self):
+        assert paths("from . import numpy\ny = numpy.fft.fft(x)\n") == []
+
+
+class TestAssumedBindings:
+    def test_bare_np_assumed_numpy(self):
+        # Snippets without imports keep linting the way they always have.
+        assert paths("y = np.fft.fft(x)\n") == ["numpy.fft.fft"]
+
+    def test_explicit_rebinding_kills_the_assumption(self):
+        assert paths("import torch as np\ny = np.fft.fft(x)\n") == []
+
+    def test_custom_assume_map(self):
+        found = paths("y = xp.linalg.det(m)\n", assume={"xp": "numpy"})
+        assert found == ["numpy.linalg.det"]
+
+
+class TestAssignmentPropagation:
+    def test_alias_chain_propagates(self):
+        found = uses("import numpy as xp\nF = xp.fft\ny = F.rfft(x)\n")
+        assert [(u.path, u.spelled) for u in found] == [
+            ("numpy.fft", "xp.fft"),  # the aliasing read itself
+            ("numpy.fft.rfft", "F.rfft"),
+        ]
+
+    def test_rebinding_to_unknown_kills(self):
+        src = "import numpy as xp\nxp = load_backend()\ny = xp.fft.fft(x)\n"
+        assert paths(src) == []
+
+    def test_del_kills(self):
+        assert paths("import numpy as xp\ndel xp\ny = xp.fft.fft(x)\n") == []
+
+
+class TestBranchMerging:
+    def test_union_over_branches_flags_the_maybe(self):
+        src = """\
+            if fast:
+                import numpy as backend
+            else:
+                import torch as backend
+            y = backend.fft.fft(x)
+        """
+        assert paths(src) == ["numpy.fft.fft"]
+
+    def test_rebinding_on_every_path_is_clean(self):
+        src = """\
+            import numpy as backend
+            if fast:
+                backend = torch_like()
+            else:
+                backend = other()
+            y = backend.fft.fft(x)
+        """
+        assert paths(src) == []
+
+    def test_loop_body_binding_reaches_after_the_loop(self):
+        src = """\
+            for name in names:
+                import numpy as xp
+            y = xp.fft.fft(x)
+        """
+        assert paths(src) == ["numpy.fft.fft"]
+
+
+class TestScopes:
+    def test_function_parameter_shadows_binding(self):
+        src = """\
+            import numpy as xp
+            def f(xp):
+                return xp.fft.fft(1)
+        """
+        assert paths(src) == []
+
+    def test_function_rebinding_does_not_leak_out(self):
+        src = """\
+            import numpy as xp
+            def f():
+                xp = stub()
+            y = xp.fft.fft(x)
+        """
+        assert paths(src) == ["numpy.fft.fft"]
+
+    def test_uses_inside_functions_still_collected(self):
+        src = """\
+            import numpy as xp
+            def f(x):
+                return xp.fft.fft(x)
+        """
+        assert paths(src) == ["numpy.fft.fft"]
+
+    def test_comprehension_target_shadows(self):
+        src = """\
+            import numpy as xp
+            ys = [xp for xp in backends]
+            y = xp.fft.fft(x)
+        """
+        # The comprehension target only shadows inside the comprehension.
+        assert paths(src) == ["numpy.fft.fft"]
+
+    def test_lambda_parameter_shadows(self):
+        src = "import numpy as xp\nf = lambda xp: xp.fft.fft(1)\n"
+        assert paths(src) == []
+
+
+class TestUseShapes:
+    def test_attribute_read_is_not_a_call(self):
+        found = uses("import numpy as xp\nwindow = xp.hanning\n")
+        assert [(u.path, u.is_call) for u in found] == [
+            ("numpy.hanning", False)]
+
+    def test_broken_chain_still_reports_the_base(self):
+        # make() isn't a pure Name/Attribute chain, but xp inside is.
+        found = paths("import numpy as xp\ny = make(xp).fft\n")
+        assert found == ["numpy"]
+
+    def test_lineno_points_at_the_use(self):
+        found = uses("import numpy as xp\n\n\nspec = xp.fft.fft(x)\n")
+        assert found[0].lineno == 4

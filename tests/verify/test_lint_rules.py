@@ -136,6 +136,52 @@ class TestRpr004DirectFft:
         )
         assert report.diagnostics == []
 
+    def test_numpy_import_alias_caught(self):
+        # Acceptance case: `import numpy as xp; xp.fft.fft(x)`.
+        report = lint(
+            """\
+            import numpy as xp
+
+            spec = xp.fft.fft(acc)
+            """,
+            path=CORE_PATH,
+            rules=["RPR004"],
+        )
+        assert not report.ok
+        assert "xp.fft.fft" in report.errors[0].message
+        assert "(= numpy.fft.fft)" in report.errors[0].message
+
+    def test_from_import_alias_use_caught(self):
+        report = lint(
+            """\
+            from numpy import fft as F
+
+            spec = F.rfft(x)
+            """,
+            path=CORE_PATH,
+            rules=["RPR004"],
+        )
+        assert not report.ok
+        assert any("F.rfft" in d.message for d in report.errors)
+
+    def test_rebound_name_is_clean(self):
+        # np no longer means numpy here; the dataflow pass must see it.
+        report = lint(
+            """\
+            import torch as np
+
+            spec = np.fft.fft(x)
+            """,
+            path=CORE_PATH,
+            rules=["RPR004"],
+        )
+        assert report.diagnostics == []
+
+    def test_fft_module_alias_without_use_clean(self):
+        # Binding a name to np.fft is fine until a transform is used.
+        report = lint("F = np.fft\n", path=CORE_PATH, rules=["RPR004"])
+        assert report.diagnostics == []
+
 
 class TestRpr005GlobalRng:
     def test_legacy_call_is_warning(self):
@@ -150,6 +196,44 @@ class TestRpr005GlobalRng:
             """\
             rng = np.random.default_rng(7)
             x = rng.integers(0, 10)
+            """,
+            path=CORE_PATH,
+            rules=["RPR005"],
+        )
+        assert report.diagnostics == []
+
+    def test_aliased_legacy_call_caught(self):
+        report = lint(
+            """\
+            import numpy as xp
+
+            xp.random.seed(0)
+            """,
+            path=CORE_PATH,
+            rules=["RPR005"],
+        )
+        assert report.ok  # warnings only
+        assert len(report.warnings) == 1
+        assert "xp.random.seed" in report.warnings[0].message
+
+    def test_from_imported_legacy_function_caught(self):
+        report = lint(
+            """\
+            from numpy.random import seed
+
+            seed(0)
+            """,
+            path=CORE_PATH,
+            rules=["RPR005"],
+        )
+        assert len(report.warnings) == 1
+
+    def test_aliased_generator_api_clean(self):
+        report = lint(
+            """\
+            import numpy as xp
+
+            rng = xp.random.default_rng(7)
             """,
             path=CORE_PATH,
             rules=["RPR005"],

@@ -70,7 +70,8 @@ def _chain(params, group=0, count=4, base=0):
 
 def test_catalog_has_all_passes():
     codes = [info.code for info in program_rule_catalog()]
-    assert codes == ["VER001", "VER002", "VER003", "VER004", "VER005", "VER006"]
+    assert codes == ["VER001", "VER002", "VER003", "VER004", "VER005",
+                     "VER006", "VER007", "VER008"]
 
 
 def test_clean_chain_passes_every_rule(config, params):

@@ -55,3 +55,63 @@ def test_suppression_is_code_specific():
            "  # repro: allow[RPR001] mask is exact here\n")
     report = lint_source(src, path=path)
     assert report.codes() == {"RPR002"}
+
+
+def test_marker_on_closing_line_covers_the_whole_statement():
+    # The finding anchors at the expression's first line; the marker sits
+    # on the closing paren two lines down.  Statement-range scoping must
+    # connect them.
+    path = "src/repro/tfhe/lwe.py"
+    src = textwrap.dedent(
+        """\
+        spec = np.fft.rfft(
+            acc,
+        )  # repro: allow[RPR004] boundary transform, audited
+        """
+    )
+    assert not lint_source(src.replace("  # repro: allow[RPR004] "
+                                       "boundary transform, audited", ""),
+                           path=path, rules=["RPR004"]).ok
+    assert lint_source(src, path=path, rules=["RPR004"]).diagnostics == []
+
+
+def test_marker_on_first_line_covers_later_lines_too():
+    path = "src/repro/tfhe/lwe.py"
+    src = textwrap.dedent(
+        """\
+        total = (  # repro: allow[RPR001] carry chain is exact
+            a * b
+        ) % 2**32
+        """
+    )
+    assert lint_source(src, path=path, rules=["RPR001"]).diagnostics == []
+
+
+def test_compound_statement_header_is_not_a_block_escape_hatch():
+    # A marker on an `if` header must NOT excuse findings in its body;
+    # only simple statements expand over their line range.
+    path = "src/repro/tfhe/lwe.py"
+    src = textwrap.dedent(
+        """\
+        if fast:  # repro: allow[RPR001] justified?
+            x = acc & 0xFFFFFFFF
+        """
+    )
+    report = lint_source(src, path=path, rules=["RPR001"])
+    assert not report.ok
+    assert report.codes() == {"RPR001"}
+
+
+def test_codes_union_across_a_wrapped_statement():
+    # Different markers on different lines of one statement all apply to
+    # every line of it.
+    src = textwrap.dedent(
+        """\
+        y = (np.fft.rfft(  # repro: allow[RPR004] audited
+            acc & 0xFFFFFFFF
+        ))  # repro: allow[RPR001] mask is exact
+        """
+    )
+    report = lint_source(src, path="src/repro/tfhe/lwe.py",
+                         rules=["RPR001", "RPR004"])
+    assert report.diagnostics == []
