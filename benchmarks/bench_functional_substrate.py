@@ -148,6 +148,18 @@ def test_batched_bootstrap_throughput(ctx, bench_record):
             best = min(best, time.perf_counter() - start)
         return best
 
+    def percentiles_ms(fn, rounds=12):
+        """Tail-latency view: per-call wall times through a quantile
+        sketch, the same estimator the SLO engine runs in production."""
+        from repro.observability import QuantileSketch
+
+        sketch = QuantileSketch()
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            sketch.add(time.perf_counter() - start)
+        return {q: sketch.quantile(q) * 1e3 for q in (0.5, 0.95, 0.99)}
+
     seed_outs = [_seed_programmable_bootstrap(ct, tp, ctx.keyset) for ct in cts]
     seed_time = timed(
         lambda: [_seed_programmable_bootstrap(ct, tp, ctx.keyset) for ct in cts]
@@ -158,6 +170,9 @@ def test_batched_bootstrap_throughput(ctx, bench_record):
     )
     batch_outs = programmable_bootstrap_batch(cts, tp, ctx.keyset)
     batch_time = timed(lambda: programmable_bootstrap_batch(cts, tp, ctx.keyset))
+    batch_pcts = percentiles_ms(
+        lambda: programmable_bootstrap_batch(cts, tp, ctx.keyset)
+    )
 
     bit_identical = all(
         np.array_equal(b.a, s.a) and b.b == s.b
@@ -180,4 +195,9 @@ def test_batched_bootstrap_throughput(ctx, bench_record):
         seed_bootstraps_per_s=round(len(cts) / seed_time, 2),
         scalar_bootstraps_per_s=round(len(cts) / scalar_time, 2),
         batch16_bootstraps_per_s=round(len(cts) / batch_time, 2),
+        # Tail latency of the batch-16 call (informational: _wall_ms
+        # metrics are trend-watched, never compared across machines).
+        batch16_p50_wall_ms=round(batch_pcts[0.5], 3),
+        batch16_p95_wall_ms=round(batch_pcts[0.95], 3),
+        batch16_p99_wall_ms=round(batch_pcts[0.99], 3),
     )

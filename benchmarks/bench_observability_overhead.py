@@ -331,6 +331,46 @@ def test_disabled_flight_recorder_allocates_nothing():
     )
 
 
+def test_disabled_slo_instrumentation_allocates_nothing():
+    """With telemetry off the request-latency sites must stay untouched.
+
+    The SLO engine adds quantile-metric observes and ``"request"`` bus
+    publishes to the scheduler, simulator and tfhe bootstrap hot paths -
+    all behind the same single read-and-branch.  ``tracemalloc`` filtered
+    to sketch.py and slo.py proves a full scheduled workload plus a
+    batched bootstrap allocates *zero* objects in either module while
+    disabled - even with an (idle, detached-bus) monitor constructed.
+    """
+    from repro.core.accelerator import MorphlingConfig
+    from repro.core.scheduler import LayerDemand, run_workload
+    from repro.observability.slo import SLORegistry
+    from repro.params import get_params
+
+    ctx = TfheContext.create(TEST_PARAMS, seed=11)
+    config, params = MorphlingConfig(), get_params("I")
+    layers = [LayerDemand("bench", bootstraps=128)]
+    run_workload(config, params, layers)  # warm caches outside the trace
+    ctx.decrypt(ctx.gate("nand", ctx.encrypt(1), ctx.encrypt(0)))  # warm
+    slos = SLORegistry()
+    slos.latency("p99", 0.99, 1.0)
+    obs.disable()
+    tracemalloc.start()
+    try:
+        run_workload(config, params, layers)
+        ctx.decrypt(ctx.gate("nand", ctx.encrypt(1), ctx.encrypt(0)))
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    stats = snapshot.filter_traces([
+        tracemalloc.Filter(True, "*observability/sketch.py"),
+        tracemalloc.Filter(True, "*observability/slo.py"),
+    ]).statistics("filename")
+    blocks = sum(stat.count for stat in stats)
+    assert blocks == 0, (
+        f"disabled SLO instrumentation allocated {blocks} blocks: {stats}"
+    )
+
+
 def test_counter_recording_is_deterministic_across_runs():
     """Two identical simulator runs must produce byte-identical digests."""
     from repro.core.accelerator import MorphlingConfig
@@ -352,5 +392,6 @@ if __name__ == "__main__":
     test_disabled_noise_tracker_allocates_nothing_on_gate_path()
     test_disabled_bus_allocates_nothing_on_gate_and_simulator_paths()
     test_disabled_flight_recorder_allocates_nothing()
+    test_disabled_slo_instrumentation_allocates_nothing()
     test_counter_recording_is_deterministic_across_runs()
     print("overhead guard: OK")

@@ -15,9 +15,10 @@ Per-metric policy:
 - floor metrics (``speedup_batch16``) treat the baseline as a minimum the
   current run must meet or beat - wall-clock speedups vary by machine, so
   only a drop below the floor is a regression;
-- informational metrics (anything ending in ``_per_s``) are collected for
-  trend-watching but never compared - absolute throughput is
-  machine-dependent (both sides must still *have* the metric);
+- informational metrics (anything ending in ``_per_s`` or ``_wall_ms``)
+  are collected for trend-watching but never compared - absolute
+  wall-clock throughput and latency percentiles are machine-dependent
+  (both sides must still *have* the metric);
 - structural metrics (``bottleneck``, ``group_size``, reuse factors) and
   the perf-counter ``counters_digest`` must match exactly;
 - the entry sets and ``schema_version`` must match exactly (a missing or
@@ -46,8 +47,11 @@ TOLERANT_METRICS = ("throughput_bs", "bootstrap_latency_ms")
 FLOOR_METRICS = ("speedup_batch16",)
 
 #: Metrics recorded for trend-watching only; values are never compared
-#: (wall-clock throughput is machine-dependent).
-INFORMATIONAL_SUFFIXES = ("_per_s",)
+#: (wall-clock throughput and latency percentiles are machine-dependent).
+#: New wall-clock metrics must use ``_wall_ms``, never bare ``_ms`` - the
+#: informational check runs before the tolerant one, so a ``_ms`` suffix
+#: would silently demote tolerant metrics like ``bootstrap_latency_ms``.
+INFORMATIONAL_SUFFIXES = ("_per_s", "_wall_ms")
 
 
 def compare_documents(

@@ -44,7 +44,7 @@ class _Row:
 class EncryptedTable:
     """A tiny encrypted key/value table supporting filtered aggregation."""
 
-    def __init__(self, ctx: TfheContext, num_digits: int = 3, digit_bits: int = 2):
+    def __init__(self, ctx: TfheContext, num_digits: int = 3, digit_bits: int = 2) -> None:
         self.ctx = ctx
         self.num_digits = num_digits
         self.digit_bits = digit_bits

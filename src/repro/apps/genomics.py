@@ -28,7 +28,7 @@ __all__ = ["GenotypeMatcher", "genome_match_workload"]
 class GenotypeMatcher:
     """Encrypted SNP-vector matching for small functional demos."""
 
-    def __init__(self, ctx: TfheContext, num_sites: int):
+    def __init__(self, ctx: TfheContext, num_sites: int) -> None:
         if num_sites < 1:
             raise ValueError("need at least one SNP site")
         if num_sites > 3:

@@ -16,6 +16,7 @@ Two halves:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..core.scheduler import LayerDemand
 from ..tfhe.lwe import LweCiphertext, lwe_add, lwe_add_plain, lwe_scalar_mul, lwe_trivial
@@ -108,7 +109,9 @@ def encrypted_dot(cts: list, weights: list, n: int) -> LweCiphertext:
     return acc
 
 
-def encrypted_dense_relu(ctx: TfheContext, inputs: list, weight_rows: list, p: int = None) -> list:
+def encrypted_dense_relu(
+    ctx: TfheContext, inputs: list, weight_rows: list, p: Optional[int] = None
+) -> list:
     """One dense layer + ReLU over offset-binary signed ciphertexts.
 
     ``inputs`` are offset-encoded signed values in ``[-p/4, p/4)``; small

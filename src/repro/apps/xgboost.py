@@ -21,7 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.scheduler import LayerDemand
-from ..tfhe.lwe import lwe_add
+from typing import Optional
+
+from ..tfhe.lwe import LweCiphertext, lwe_add
 from ..tfhe.ops import TfheContext
 from .workload import Workload
 
@@ -86,7 +88,7 @@ class EncryptedTreeEnsemble:
     checkable against the plaintext ensemble.
     """
 
-    def __init__(self, ctx: TfheContext, stumps: list):
+    def __init__(self, ctx: TfheContext, stumps: list) -> None:
         if not stumps:
             raise ValueError("ensemble needs at least one stump")
         self.ctx = ctx
@@ -95,11 +97,11 @@ class EncryptedTreeEnsemble:
     def predict_plain(self, features: list) -> int:
         return sum(s.evaluate_plain(features) for s in self.stumps)
 
-    def predict_encrypted(self, encrypted_features: list):
+    def predict_encrypted(self, encrypted_features: list) -> LweCiphertext:
         """Homomorphic ensemble score of offset-encoded signed features."""
         ctx = self.ctx
         p = ctx.default_p
-        total = None
+        total: Optional[LweCiphertext] = None
         for stump in self.stumps:
             bit = ctx.compare_ge(encrypted_features[stump.feature], stump.threshold, p)
             delta = stump.right_value - stump.left_value
@@ -112,9 +114,10 @@ class EncryptedTreeEnsemble:
             total = contribution if total is None else lwe_add(total, contribution)
         # Each contribution carries one offset (quarter); the sum carries
         # len(stumps) of them. Caller decodes with decode_score().
+        assert total is not None  # constructor guarantees >= 1 stump
         return total
 
-    def decode_score(self, ct) -> int:
+    def decode_score(self, ct: LweCiphertext) -> int:
         """Decrypt the ensemble score, removing the stacked offsets."""
         ctx = self.ctx
         p = ctx.default_p

@@ -233,6 +233,31 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--json", action="store_true",
                      help="print the final aggregated snapshot as JSON "
                           "instead of redrawing the panel")
+    top.add_argument("--from", dest="from_file", metavar="JSONL", default=None,
+                     help="fold a recorded JSONL event log (repro record "
+                          "--jsonl) offline instead of running a workload")
+
+    slo = sub.add_parser(
+        "slo",
+        help="run a workload under the latency SLO engine and report "
+             "objective compliance",
+    )
+    slo.add_argument("--workload", default="xgboost",
+                     choices=sorted(_WORKLOADS))
+    slo.add_argument("--set", default="III", dest="param_set",
+                     choices=sorted(PARAM_SETS))
+    slo.add_argument("--slack", type=float, default=2.0,
+                     help="objective slack multiplier over the cycle-model "
+                          "pricing (default 2.0)")
+    slo.add_argument("--degrade", action="store_true",
+                     help="run on the equal-resource No-Reuse config while "
+                          "keeping Morphling-priced objectives (induces a "
+                          "p99 breach; for drills and tests)")
+    slo.add_argument("--dump", metavar="DIR", default=None,
+                     help="flight-recorder dump directory for slo_burn "
+                          "bundles")
+    slo.add_argument("--json", action="store_true",
+                     help="print the schema-versioned SLO report as JSON")
 
     rec = sub.add_parser(
         "record",
@@ -638,7 +663,27 @@ def _cmd_top(args) -> int:
     from . import observability as obs
     from .core.accelerator import MorphlingConfig
     from .core.scheduler import run_workload
-    from .observability.dashboard import run_top
+    from .observability.bus import TelemetryBus
+    from .observability.dashboard import Dashboard, run_top
+
+    if args.from_file is not None:
+        # Offline post-mortem: fold a recorded event log through the same
+        # aggregation a live run feeds.  A private disabled bus keeps the
+        # dashboard away from the process singletons.
+        dash = Dashboard(bus=TelemetryBus())
+        try:
+            count = dash.feed_jsonl(args.from_file)
+        except (OSError, ValueError) as exc:
+            print(f"cannot replay {args.from_file}: {exc}", file=sys.stderr)
+            return 2
+        finally:
+            dash.close()
+        if args.json:
+            _print_json(dash.snapshot())
+        else:
+            print(dash.render())
+            print(f"(offline: {count} events from {args.from_file})")
+        return 0
 
     workload = _make_workload(args.workload)
     params = get_params(args.param_set)
@@ -662,6 +707,44 @@ def _cmd_top(args) -> int:
             run_top(round_, iterations=args.iterations,
                     interval_s=args.interval)
     return 0
+
+
+def _cmd_slo(args) -> int:
+    from . import observability as obs
+    from .analysis.failprob import estimate_app_failure
+    from .core.accelerator import MorphlingConfig
+    from .core.scheduler import run_workload
+    from .observability.flightrec import flight_recording
+    from .observability.slo import SLOMonitor
+
+    workload = _make_workload(args.workload)
+    params = get_params(args.param_set)
+    reference = MorphlingConfig.morphling()
+    run_config = MorphlingConfig.no_reuse() if args.degrade else reference
+    # Price objectives BEFORE enabling telemetry: the reference simulation
+    # publishes its own events, which must not reach the monitor.
+    slos = workload.slos(reference, params, slack=args.slack)
+    failure = estimate_app_failure(params, workload.total_bootstraps)
+    monitor = SLOMonitor(slos)
+    with obs.telemetry(), flight_recording(dump_dir=args.dump):
+        monitor.attach()
+        try:
+            workload.announce()
+            run_workload(run_config, params, list(workload.layers))
+        finally:
+            monitor.detach()
+    report = monitor.evaluate(failure=failure)
+    if args.json:
+        _print_json(report.to_jsonable())
+    else:
+        print(f"slo: workload '{workload.name}' on {run_config.name}@"
+              f"{params.name}, objectives priced from {reference.name} "
+              f"at {args.slack:g}x slack")
+        print(report.render_text())
+        if args.dump and monitor.breaches:
+            print(f"flight bundles for {len(monitor.breaches)} slo_burn "
+                  f"alert(s) under {args.dump}/")
+    return 0 if report.ok else 1
 
 
 def _cmd_record(args) -> int:
@@ -773,6 +856,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "noise": _cmd_noise,
     "top": _cmd_top,
+    "slo": _cmd_slo,
     "record": _cmd_record,
     "replay": _cmd_replay,
 }

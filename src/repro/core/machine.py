@@ -41,7 +41,7 @@ __all__ = ["MorphlingMachine"]
 class MorphlingMachine:
     """Functional model of the accelerator executing real bootstraps."""
 
-    def __init__(self, config: MorphlingConfig, keyset: KeySet):
+    def __init__(self, config: MorphlingConfig, keyset: KeySet) -> None:
         if keyset.params.k + 1 > config.vpe_cols:
             raise ValueError(
                 f"k+1 = {keyset.params.k + 1} output columns exceed the "

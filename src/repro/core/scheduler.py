@@ -51,6 +51,11 @@ _SCHED_INSTRUCTIONS = _METRICS.counter(
 _SCHED_PADDING = _METRICS.counter(
     "sched_padded_slots_total", "Bootstrap slots scheduled but unused (padding)"
 )
+_SCHED_REQUEST_LATENCY = _METRICS.quantile(
+    "sched_request_latency_seconds",
+    "Simulated completion time of each scheduled bootstrap group's "
+    "requests (STORE_LWE retire time since workload start)",
+)
 
 
 @dataclass(frozen=True)
@@ -303,6 +308,10 @@ class HwScheduler:
         # perf-counter track.  BR results land in Shared when the XPU
         # instruction finishes and leave when SE drains them.
         pressure = [] if _COUNTERS.enabled else None
+        # Request-latency samples: each group's STORE_LWE retire time is
+        # the completion time of its `count` requests (since t=0), the
+        # population the SLO monitor prices p50/p95/p99 over.
+        requests = [] if (_BUS.enabled or _METRICS.enabled) else None
         for inst in stream:
             duration = self._duration(inst)
             if inst.op is XpuOp.BLIND_ROTATE:
@@ -317,6 +326,8 @@ class HwScheduler:
             ready[key] = end
             busy[key] += duration
             finish[inst.inst_id] = end
+            if requests is not None and inst.op is DmaOp.STORE_LWE and inst.count:
+                requests.append((end, inst.count, inst.group))
             if spans is not None:
                 spans.append((key, inst.op.value, inst.group, start, end))
             if _METRICS.enabled:
@@ -371,6 +382,12 @@ class HwScheduler:
             padding_waste=waste,
             spans=spans,
         )
+        if requests:
+            for end, count, group in requests:
+                _SCHED_REQUEST_LATENCY.observe(end, count=count)
+                if _BUS.enabled:
+                    _BUS.publish("request", "sched/request", value=end,
+                                 count=count, group=group)
         if _BUS.enabled:
             _BUS.publish("snapshot", "sched/result", value=total,
                          instructions=result.instructions,

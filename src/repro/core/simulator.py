@@ -63,6 +63,10 @@ _SIM_GROUP_SIZE = _METRICS.gauge(
 _SIM_ACC_STREAMS = _METRICS.gauge(
     "sim_acc_streams", "Resident ACC streams per XPU in the last run"
 )
+_SIM_BOOTSTRAP_LATENCY = _METRICS.quantile(
+    "sim_bootstrap_latency_seconds",
+    "Modelled single-bootstrap latency, by config and parameter set",
+)
 
 
 @dataclass(frozen=True)
@@ -127,7 +131,7 @@ class SimulationReport:
 class MorphlingSimulator:
     """Steady-state + latency simulation for one (config, params) pair."""
 
-    def __init__(self, config: MorphlingConfig, params: TFHEParams):
+    def __init__(self, config: MorphlingConfig, params: TFHEParams) -> None:
         self.config = config
         self.params = params
         self.xpu = XpuModel(config, params)
@@ -274,7 +278,14 @@ class MorphlingSimulator:
             + ksk_tail
         )
 
+        if _METRICS.enabled:
+            # Every request in the modelled group experiences the same
+            # bootstrap latency: one count-weighted sample per run.
+            _SIM_BOOTSTRAP_LATENCY.observe(latency, count=group_size,
+                                           config=cfg.name, params=p.name)
         if _BUS.enabled:
+            _BUS.publish("request", "sim/bootstrap", value=latency,
+                         count=group_size, config=cfg.name, params=p.name)
             _BUS.publish("snapshot", "sim/report", value=throughput,
                          bottleneck=bottleneck, group_size=group_size,
                          latency_ms=latency * 1e3, params=p.name,

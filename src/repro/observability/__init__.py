@@ -41,6 +41,7 @@ from .bus import (
     JsonlEventLog,
     TelemetryBus,
     TelemetryEvent,
+    event_from_jsonable,
     event_to_jsonable,
     read_jsonl_events,
 )
@@ -75,7 +76,27 @@ from .noise import (
     drift_report,
     noise_tracking,
 )
-from .registry import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .registry import (
+    DEFAULT_BUCKETS,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Quantile,
+)
+from .sketch import DEFAULT_QUANTILES, DEFAULT_RELATIVE_ACCURACY, QuantileSketch
+from .slo import (
+    DEFAULT_BURN_WINDOWS,
+    SLO_REPORT_SCHEMA_VERSION,
+    FailureBudgetObjective,
+    LatencyObjective,
+    SLOMonitor,
+    SLORegistry,
+    SLOReport,
+    ThroughputObjective,
+    price_slos,
+)
 from .tracer import Span, Tracer, traced
 
 __all__ = [
@@ -89,7 +110,21 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Quantile",
     "DEFAULT_BUCKETS",
+    "TIME_BUCKETS",
+    "QuantileSketch",
+    "DEFAULT_QUANTILES",
+    "DEFAULT_RELATIVE_ACCURACY",
+    "SLORegistry",
+    "SLOMonitor",
+    "SLOReport",
+    "LatencyObjective",
+    "ThroughputObjective",
+    "FailureBudgetObjective",
+    "price_slos",
+    "SLO_REPORT_SCHEMA_VERSION",
+    "DEFAULT_BURN_WINDOWS",
     "Tracer",
     "Span",
     "traced",
@@ -106,6 +141,7 @@ __all__ = [
     "JsonlEventLog",
     "EVENT_SCHEMA_VERSION",
     "event_to_jsonable",
+    "event_from_jsonable",
     "read_jsonl_events",
     "FlightRecorder",
     "BUNDLE_SCHEMA_VERSION",

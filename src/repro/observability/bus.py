@@ -50,6 +50,7 @@ __all__ = [
     "BUS",
     "JsonlEventLog",
     "event_to_jsonable",
+    "event_from_jsonable",
     "read_jsonl_events",
 ]
 
@@ -70,6 +71,7 @@ EVENT_KINDS = (
     "snapshot",       # end-of-run summary (simulator/scheduler reports)
     "workload",       # workload descriptor announced before a run
     "anomaly",        # a trigger fired (drift breach, budget overrun, ...)
+    "request",        # one request-latency sample (value=s, count-weighted)
 )
 
 
@@ -109,6 +111,34 @@ def event_to_jsonable(event: TelemetryEvent) -> Dict[str, Any]:
         "value": event.value,
         "fields": {k: to_jsonable(event.fields[k]) for k in sorted(event.fields)},
     }
+
+
+def event_from_jsonable(record: Dict[str, Any]) -> TelemetryEvent:
+    """Rebuild a :class:`TelemetryEvent` from an exported JSONL record.
+
+    Inverse of :func:`event_to_jsonable` for offline replay (``repro top
+    --from``): the schema version must match and header records are
+    rejected - filter with :func:`read_jsonl_events` first.
+    """
+    version = record.get("v")
+    if version != EVENT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported event schema version {version!r} "
+            f"(this build reads v{EVENT_SCHEMA_VERSION})"
+        )
+    kind = record["kind"]
+    if kind == "jsonl_header":
+        raise ValueError("header record is not an event; skip it "
+                         "(read_jsonl_events does)")
+    value = record.get("value")
+    return TelemetryEvent(
+        seq=int(record["seq"]),
+        t_s=float(record["t_s"]),
+        kind=kind,
+        name=record["name"],
+        value=None if value is None else float(value),
+        fields=dict(record.get("fields", {})),
+    )
 
 
 Subscriber = Callable[[TelemetryEvent], None]

@@ -30,20 +30,35 @@ import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, IO, List, Optional, Tuple
 
-from .bus import BUS, TelemetryBus, TelemetryEvent
+from .bus import BUS, TelemetryBus, TelemetryEvent, event_from_jsonable, read_jsonl_events
 from .flightrec import DEFAULT_DRIFT_SIGMAS
+from .sketch import DEFAULT_QUANTILES, QuantileSketch
 
 __all__ = ["Dashboard", "run_top"]
 
 
 class Dashboard:
-    """Incremental aggregator over bus events, renderable as a panel."""
+    """Incremental aggregator over bus events, renderable as a panel.
+
+    With ``slos`` (an :class:`~repro.observability.slo.SLORegistry`) the
+    panel also tracks request latency per objective: every ``"request"``
+    event updates a quantile sketch plus per-objective good/bad counts,
+    and the rendered panel shows p50/p95/p99 with error-budget-remaining
+    columns.
+    """
 
     def __init__(self, bus: Optional[TelemetryBus] = None,
                  drift_sigmas: float = DEFAULT_DRIFT_SIGMAS,
-                 anomaly_history: int = 8):
+                 anomaly_history: int = 8, slos: Optional[Any] = None):
         self.bus = bus if bus is not None else BUS
         self.drift_sigmas = float(drift_sigmas)
+        self.slos = slos
+        self._latency = QuantileSketch()
+        self._requests = 0
+        # objective name -> [total, bad] request counts
+        self._slo_counts: Dict[str, List[int]] = {
+            o.name: [0, 0] for o in getattr(slos, "latency_objectives", ())
+        }
         self._lock = threading.Lock()
         self._bootstraps = 0.0
         self._first_t: Optional[float] = None
@@ -103,12 +118,35 @@ class Dashboard:
                     s = float(sigma)
                     if self._worst_sigma is None or s > self._worst_sigma:
                         self._worst_sigma = s
+            elif kind == "request":
+                latency = float(event.value or 0.0)
+                count = int(event.fields.get("count", 1) or 1)
+                self._latency.add(latency, count)
+                self._requests += count
+                if self.slos is not None:
+                    for objective in self.slos.latency_objectives:
+                        counts = self._slo_counts[objective.name]
+                        counts[0] += count
+                        if latency > objective.threshold_s:
+                            counts[1] += count
             elif kind == "anomaly":
                 self._anomalies.append((event.t_s, event.name, dict(event.fields)))
             elif kind == "workload":
                 self._workload = event.name
             elif kind == "snapshot":
                 self._report[event.name] = {"value": event.value, **event.fields}
+
+    def feed_jsonl(self, path: str) -> int:
+        """Fold a recorded JSONL event log (``repro record``) offline.
+
+        Replays every event through the same aggregation the live bus
+        feeds, so ``repro top --from FILE`` renders the panel a live run
+        would have shown.  Returns the number of events folded.
+        """
+        events = read_jsonl_events(path)
+        for record in events:
+            self._on_event(event_from_jsonable(record))
+        return len(events)
 
     # -- reads --------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
@@ -124,6 +162,24 @@ class Dashboard:
             }
             drift_ok = (self._worst_sigma is None
                         or self._worst_sigma <= self.drift_sigmas)
+            latency = {
+                "count": self._requests,
+                **{f"p{q * 100:g}": self._latency.quantile(q)
+                   for q in DEFAULT_QUANTILES},
+            }
+            slo_rows = []
+            if self.slos is not None:
+                for objective in self.slos.latency_objectives:
+                    total, bad = self._slo_counts[objective.name]
+                    budget = objective.budget_fraction
+                    bad_fraction = bad / total if total else 0.0
+                    slo_rows.append({
+                        "name": objective.name,
+                        "quantile": objective.quantile,
+                        "threshold_s": objective.threshold_s,
+                        "observed_s": self._latency.quantile(objective.quantile),
+                        "budget_remaining": 1.0 - bad_fraction / budget,
+                    })
             return {
                 "workload": self._workload,
                 "bootstraps": self._bootstraps,
@@ -132,6 +188,8 @@ class Dashboard:
                                      if elapsed > 0 else 0.0),
                 "batch_occupancy": (self._occupancy_sum / self._occupancy_n
                                     if self._occupancy_n else None),
+                "latency": latency,
+                "slo": slo_rows,
                 "stage_cycle_fractions": fractions,
                 "hbm_bytes": dict(sorted(self._hbm_bytes.items())),
                 "noise_ops": self._noise_ops,
@@ -178,6 +236,29 @@ class Dashboard:
         hbm_total = sum(snap["hbm_bytes"].values())
         lines.append(f"HBM traffic: {hbm_total / 2**20:10.1f} MiB over "
                      f"{len(snap['hbm_bytes'])} channels")
+        lines.append("-" * width)
+        latency = snap["latency"]
+        if latency["count"]:
+            def _ms(v: Optional[float]) -> str:
+                return f"{v * 1e3:.2f}ms" if v is not None else "-"
+
+            lines.append(
+                f"requests: {latency['count']:>10,d}   "
+                f"p50 {_ms(latency['p50']):>10s}  "
+                f"p95 {_ms(latency['p95']):>10s}  "
+                f"p99 {_ms(latency['p99']):>10s}"
+            )
+            for row in snap["slo"]:
+                remaining = row["budget_remaining"]
+                verdict = "ok" if remaining >= 0.0 else "BREACH"
+                lines.append(
+                    f"  slo {row['name']:<16.16s} "
+                    f"<= {_ms(row['threshold_s']):>10s}  "
+                    f"observed {_ms(row['observed_s']):>10s}  "
+                    f"budget {remaining:+7.1%}  {verdict}"
+                )
+        else:
+            lines.append("requests: (no request events yet)")
         lines.append("-" * width)
         if snap["worst_sigma"] is None:
             noise_line = f"noise: {snap['noise_ops']} ops, unmeasured"

@@ -103,7 +103,10 @@ def render_prometheus(snapshot: dict) -> str:
     for name, metric in snapshot.items():
         if metric["help"]:
             lines.append(f"# HELP {name} {metric['help']}")
-        lines.append(f"# TYPE {name} {metric['type']}")
+        # Our "quantile" kind is a Prometheus *summary* (pre-computed
+        # quantiles), which is what scrapers expect the TYPE to say.
+        exposition_type = "summary" if metric["type"] == "quantile" else metric["type"]
+        lines.append(f"# TYPE {name} {exposition_type}")
         for series in metric["values"]:
             labels = series["labels"]
             if metric["type"] == "histogram":
@@ -112,6 +115,19 @@ def render_prometheus(snapshot: dict) -> str:
                     lines.append(f"{name}_bucket{le} {count}")
                 inf = _format_labels(labels, {"le": "+Inf"})
                 lines.append(f"{name}_bucket{inf} {series['count']}")
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)} "
+                    f"{_format_value(series['sum'])}"
+                )
+                lines.append(f"{name}_count{_format_labels(labels)} {series['count']}")
+            elif metric["type"] == "quantile":
+                # Prometheus summary-style exposition: one sample per
+                # tracked quantile plus _sum/_count.
+                for q, estimate in series["quantiles"].items():
+                    if estimate is None:
+                        continue
+                    ql = _format_labels(labels, {"quantile": q})
+                    lines.append(f"{name}{ql} {_format_value(estimate)}")
                 lines.append(
                     f"{name}_sum{_format_labels(labels)} "
                     f"{_format_value(series['sum'])}"

@@ -22,6 +22,9 @@ Trigger catalog (all route through :meth:`FlightRecorder.trigger`):
   (``run_workload(..., latency_budget_s=...)``);
 - ``exception`` - an uncaught exception escaped ``run_workload`` or the
   batched bootstrap pipeline (reported, then re-raised);
+- ``slo_burn`` - a latency objective's error budget is burning faster
+  than its multi-window alert factor (fired by
+  :class:`repro.observability.slo.SLOMonitor`);
 - ``manual`` - an explicit ``repro record`` capture.
 
 Every trigger publishes an ``"anomaly"`` event back onto the bus (so the

@@ -1,0 +1,196 @@
+"""Mergeable streaming quantile sketch (DDSketch-style, relative error).
+
+Fixed-bucket histograms answer "how many observations fell below X" for
+a hand-picked ladder of Xs; an SLO engine needs the inverse question -
+"what is the p99" - with an accuracy guarantee that survives merging
+across shards and runs.  This module implements the log-bucketed sketch
+of Masson, Rim and Lee ("DDSketch: a fast and fully-mergeable quantile
+sketch with relative-error guarantees", VLDB 2019):
+
+- values are mapped to geometric buckets ``gamma^(i-1) < v <= gamma^i``
+  with ``gamma = (1 + alpha) / (1 - alpha)``, so returning the bucket
+  midpoint ``2 * gamma^i / (gamma + 1)`` is within relative error
+  ``alpha`` of any value in the bucket;
+- buckets are a sparse ``dict`` (index -> count), so memory grows with
+  the *dynamic range* of the stream (logarithmically), not its length;
+- :meth:`QuantileSketch.merge` adds bucket counts pointwise, which makes
+  the merge **exact**: a sketch of shard A merged with a sketch of shard
+  B is bucket-for-bucket identical to one sketch of A+B, hence merging
+  is associative and commutative and never degrades the error bound.
+
+Only non-negative values are accepted (latencies, durations, sizes);
+values below :attr:`QuantileSketch.MIN_TRACKABLE` collapse into an exact
+zero bucket.  The property tests in
+``tests/observability/test_slo.py`` hold the sketch to the
+``alpha``-relative-error bound on adversarial streams and to exact
+shard-merge agreement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+__all__ = ["DEFAULT_RELATIVE_ACCURACY", "DEFAULT_QUANTILES", "QuantileSketch"]
+
+#: Default relative-error bound ``alpha``: quantile estimates are within
+#: 1% of the true value (two sketches at the same alpha merge exactly).
+DEFAULT_RELATIVE_ACCURACY = 0.01
+
+#: The quantiles every snapshot/report quotes by default.
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class QuantileSketch:
+    """Log-bucketed quantile sketch with a relative-error guarantee.
+
+    ``alpha`` is the relative accuracy: for any quantile ``q``,
+    :meth:`quantile` returns an estimate ``x`` with
+    ``|x - x_q| <= alpha * x_q`` where ``x_q`` is the true ``q``-quantile
+    of everything added so far.  Instances are cheap (one dict), exact on
+    ``count``/``sum``/``min``/``max``, and merge losslessly with any
+    sketch built at the same ``alpha``.
+    """
+
+    #: Values below this are counted in the exact zero bucket; keeps the
+    #: bucket indices bounded for degenerate streams (log2(1e-12) ~ -40).
+    MIN_TRACKABLE = 1e-12
+
+    __slots__ = ("alpha", "_gamma", "_log_gamma", "_buckets", "_zero_count",
+                 "count", "sum", "min", "max")
+
+    def __init__(self, relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY):
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError(
+                f"relative accuracy must be in (0, 1), got {relative_accuracy}"
+            )
+        self.alpha = float(relative_accuracy)
+        self._gamma = (1.0 + self.alpha) / (1.0 - self.alpha)
+        self._log_gamma = math.log(self._gamma)
+        self._buckets: Dict[int, int] = {}
+        self._zero_count = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # -- recording ------------------------------------------------------
+    def _index(self, value: float) -> int:
+        """Bucket index ``i`` with ``gamma^(i-1) < value <= gamma^i``."""
+        return int(math.ceil(math.log(value) / self._log_gamma))
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Record ``count`` observations of ``value`` (must be >= 0)."""
+        value = float(value)
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if value < 0.0 or math.isnan(value) or math.isinf(value):
+            raise ValueError(f"sketch values must be finite and >= 0, got {value}")
+        if value < self.MIN_TRACKABLE:
+            self._zero_count += count
+        else:
+            index = self._index(value)
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self.count += count
+        self.sum += value * count
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    # -- reads ----------------------------------------------------------
+    def _bucket_value(self, index: int) -> float:
+        """Midpoint estimate for bucket ``index`` (max rel. error alpha)."""
+        return 2.0 * self._gamma ** index / (self._gamma + 1.0)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (None while the sketch is empty).
+
+        The rank convention is the lower-interpolation one
+        (``rank = floor(q * (count - 1))``), matching
+        ``sorted(values)[rank]`` - the property tests compare against
+        exactly that.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = int(math.floor(q * (self.count - 1)))
+        if rank < self._zero_count:
+            return 0.0
+        seen = self._zero_count
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank < seen:
+                return self._bucket_value(index)
+        return self.max  # unreachable unless counts drifted; be safe
+
+    def quantiles(self, qs: Iterable[float] = DEFAULT_QUANTILES) -> Dict[float, Optional[float]]:
+        return {float(q): self.quantile(q) for q in qs}
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    @property
+    def bucket_count(self) -> int:
+        """Sparse buckets in use (memory footprint, for tests/telemetry)."""
+        return len(self._buckets) + (1 if self._zero_count else 0)
+
+    # -- merging --------------------------------------------------------
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into ``self`` (in place); returns ``self``.
+
+        Exact: bucket counts add pointwise, so merge order never changes
+        the result.  Both sketches must share the same ``alpha``.
+        """
+        if not isinstance(other, QuantileSketch):
+            raise TypeError(f"cannot merge {type(other).__name__} into a sketch")
+        if abs(other.alpha - self.alpha) > 1e-12:
+            raise ValueError(
+                f"cannot merge sketches with different accuracies "
+                f"({self.alpha} vs {other.alpha})"
+            )
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self._zero_count += other._zero_count
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    def copy(self) -> "QuantileSketch":
+        clone = QuantileSketch(self.alpha)
+        clone._buckets = dict(self._buckets)
+        clone._zero_count = self._zero_count
+        clone.count = self.count
+        clone.sum = self.sum
+        clone.min = self.min
+        clone.max = self.max
+        return clone
+
+    # -- serialization --------------------------------------------------
+    def to_jsonable(self, qs: Iterable[float] = DEFAULT_QUANTILES) -> Dict[str, Any]:
+        """Exporter-ready plain dict (quantile keys as strings)."""
+        return {
+            "relative_accuracy": self.alpha,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "quantiles": {repr(float(q)): self.quantile(q) for q in qs},
+        }
+
+    def state(self) -> Tuple[int, Tuple[Tuple[int, int], ...]]:
+        """Canonical bucket state, for exact-equality assertions in tests."""
+        return (self._zero_count, tuple(sorted(self._buckets.items())))
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (f"QuantileSketch(alpha={self.alpha}, count={self.count}, "
+                f"buckets={self.bucket_count})")

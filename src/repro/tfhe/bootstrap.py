@@ -25,6 +25,7 @@ mode.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -73,6 +74,11 @@ _EXTERNAL_PRODUCTS = _METRICS.counter(
 )
 _KEY_SWITCHES = _METRICS.counter(
     "tfhe_key_switches_total", "LWE key switches executed"
+)
+_BOOTSTRAP_LATENCY = _METRICS.quantile(
+    "tfhe_bootstrap_latency_seconds",
+    "Wall-clock request latency of the functional bootstrap path; every "
+    "request in a batch waits for the whole batch",
 )
 
 
@@ -330,6 +336,7 @@ def programmable_bootstrap(
     ``"fft"`` (per-product transforms) or ``"exact"`` (integer reference).
     """
     params = keyset.params
+    t0 = time.perf_counter() if (_METRICS.enabled or _BUS.enabled) else None
     with _TRACER.span("programmable_bootstrap", category="tfhe",
                       engine=engine, n=params.n, N=params.N):
         a_tilde, b_tilde = modulus_switch(ct, params.N)
@@ -341,6 +348,13 @@ def programmable_bootstrap(
         extracted = sample_extract(acc, 0)
         result = key_switch(extracted, keyset.ksk, trace=trace)
     _BOOTSTRAPS.inc()
+    if t0 is not None:
+        elapsed = time.perf_counter() - t0
+        _BOOTSTRAP_LATENCY.observe(elapsed, batch=1, engine=engine)
+        if _BUS.enabled:
+            _BUS.publish("request", "tfhe/bootstrap", value=elapsed,
+                         count=1, batch=1, n=params.n, N=params.N,
+                         engine=engine)
     if _NOISE.enabled:
         _track_bootstrap(result, ct, test_poly, keyset, "programmable_bootstrap")
     return result
@@ -373,6 +387,7 @@ def programmable_bootstrap_batch(
     a = np.stack([ct.a for ct in cts])
     b = np.asarray([ct.b for ct in cts], dtype=TORUS_DTYPE)
     tps = np.asarray(test_polys, dtype=TORUS_DTYPE)
+    t0 = time.perf_counter() if (_METRICS.enabled or _BUS.enabled) else None
     try:
         with _TRACER.span("programmable_bootstrap_batch", category="tfhe",
                           batch=batch, n=params.n, N=params.N, precision=precision):
@@ -390,6 +405,16 @@ def programmable_bootstrap_batch(
                         error=repr(exc), batch=batch)
         raise
     _BOOTSTRAPS.inc(batch)
+    if t0 is not None:
+        # Every request in the batch experiences the whole batch's
+        # wall-clock latency, so the sample is count-weighted by `batch`.
+        elapsed = time.perf_counter() - t0
+        _BOOTSTRAP_LATENCY.observe(elapsed, count=batch,
+                                   batch=batch, precision=precision)
+        if _BUS.enabled:
+            _BUS.publish("request", "tfhe/bootstrap_batch", value=elapsed,
+                         count=batch, batch=batch, n=params.n, N=params.N,
+                         precision=precision)
     if _BUS.enabled:
         _BUS.publish("batch", "tfhe/bootstrap_batch", value=float(batch),
                      n=params.n, N=params.N, precision=precision)

@@ -50,6 +50,8 @@ def run_scenario(bus):
     bus.publish("workload", "XG-Boost", value=2510.0, layers=3,
                 linear_macs=21600)
     bus.publish("anomaly", "latency_spike", budget_s=0.001, actual_s=0.002)
+    bus.publish("request", "sched/request", value=0.0042, count=64,
+                group=0, config="morphling", params="III")
 
 
 def regenerate():

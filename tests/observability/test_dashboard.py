@@ -1,10 +1,18 @@
 """Tests for the `repro top` dashboard: event folding, snapshot, render."""
 
 import io
+import json
 
 import pytest
 
+from repro.observability.bus import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    JsonlEventLog,
+    TelemetryEvent,
+)
 from repro.observability.dashboard import Dashboard, run_top
+from repro.observability.slo import SLORegistry
 
 from . import _golden
 
@@ -96,6 +104,103 @@ class TestFolding:
         dash.close()
         bus.publish("batch", "b", value=10.0)
         assert dash.snapshot()["bootstraps"] == 0.0
+
+
+class TestEdgeCases:
+    def test_empty_stream_snapshot_is_well_formed(self, rig):
+        _, dash = rig
+        snap = dash.snapshot()
+        assert snap["bootstraps"] == 0.0
+        assert snap["elapsed_s"] == 0.0
+        assert snap["bootstraps_per_s"] == 0.0
+        assert snap["batch_occupancy"] is None
+        assert snap["latency"] == {"count": 0, "p50": None, "p95": None,
+                                   "p99": None}
+        assert snap["slo"] == []
+        assert snap["anomalies"] == []
+        assert snap["workload"] is None
+
+    def test_unknown_event_kind_is_ignored_not_fatal(self, rig):
+        # The bus rejects unknown kinds at publish time, but an offline
+        # log from a newer schema may carry kinds this build never saw;
+        # folding must shrug them off.
+        _, dash = rig
+        dash._on_event(TelemetryEvent(seq=0, t_s=1.0, kind="hologram",
+                                      name="future/thing", value=7.0))
+        snap = dash.snapshot()
+        assert snap["bootstraps"] == 0.0
+        assert snap["elapsed_s"] == 0.0  # still stamps first/last time
+
+    def test_zero_capacity_batch_does_not_divide_by_zero(self, rig):
+        bus, dash = rig
+        bus.publish("batch", "machine/bootstrap_batch", value=8.0, capacity=0)
+        snap = dash.snapshot()
+        assert snap["bootstraps"] == 8.0
+        assert snap["batch_occupancy"] is None  # no occupancy sample taken
+
+    def test_valueless_events_count_as_zero(self, rig):
+        bus, dash = rig
+        bus.publish("batch", "b")  # no value at all
+        bus.publish("counter", "xpu/stage/fft", unit="cycles")
+        snap = dash.snapshot()
+        assert snap["bootstraps"] == 0.0
+        assert snap["stage_cycle_fractions"] == {"xpu/stage/fft": 0.0}
+
+
+class TestRequestsAndSlo:
+    def test_request_events_feed_latency_percentiles(self, rig):
+        bus, dash = rig
+        bus.publish("request", "sched/request", value=0.004, count=90)
+        bus.publish("request", "sched/request", value=0.020, count=10)
+        latency = dash.snapshot()["latency"]
+        assert latency["count"] == 100
+        assert latency["p50"] == pytest.approx(0.004, rel=0.02)
+        assert latency["p99"] == pytest.approx(0.020, rel=0.02)
+
+    def test_slo_rows_track_budget_remaining(self):
+        slos = SLORegistry()
+        slos.latency("p90", 0.9, 0.010)
+        bus = _golden.make_bus()
+        dash = Dashboard(bus=bus, slos=slos)
+        bus.publish("request", "r", value=0.004, count=95)
+        bus.publish("request", "r", value=0.050, count=5)  # 5% bad, 10% budget
+        (row,) = dash.snapshot()["slo"]
+        assert row["name"] == "p90"
+        assert row["budget_remaining"] == pytest.approx(0.5)
+        assert "slo p90" in dash.render() and "ok" in dash.render()
+
+    def test_breached_slo_renders_breach(self):
+        slos = SLORegistry()
+        slos.latency("p99", 0.99, 0.010)
+        bus = _golden.make_bus()
+        dash = Dashboard(bus=bus, slos=slos)
+        bus.publish("request", "r", value=0.050, count=10)  # all bad
+        (row,) = dash.snapshot()["slo"]
+        assert row["budget_remaining"] < 0.0
+        assert "BREACH" in dash.render()
+
+    def test_feed_jsonl_replays_a_recorded_run(self, rig, tmp_path):
+        bus, dash = rig
+        path = str(tmp_path / "run.jsonl")
+        with JsonlEventLog(path, bus=bus):
+            _golden.run_scenario(bus)
+        offline = Dashboard(bus=_golden.make_bus())
+        folded = offline.feed_jsonl(path)
+        assert folded == len(EVENT_KINDS)  # the scenario: one per kind
+        # The offline fold reproduces the live aggregation exactly.
+        live, replayed = dash.snapshot(), offline.snapshot()
+        assert replayed["bootstraps"] == live["bootstraps"]
+        assert replayed["latency"] == live["latency"]
+        assert replayed["workload"] == live["workload"]
+
+    def test_feed_jsonl_rejects_foreign_schema(self, rig, tmp_path):
+        _, dash = rig
+        path = tmp_path / "bad.jsonl"
+        record = {"v": EVENT_SCHEMA_VERSION + 1, "seq": 0, "t_s": 0.0,
+                  "kind": "batch", "name": "b", "value": 1.0, "fields": {}}
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ValueError, match="schema version"):
+            dash.feed_jsonl(str(path))
 
 
 class TestRender:
