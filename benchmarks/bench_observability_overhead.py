@@ -371,6 +371,45 @@ def test_disabled_slo_instrumentation_allocates_nothing():
     )
 
 
+def test_disabled_trace_context_allocates_nothing_on_hot_paths():
+    """The distributed-identity stamp must be free while telemetry is off.
+
+    The bus consults :mod:`repro.observability.context` (ambient trace
+    context + worker id) only *after* its ``enabled`` check passed, and
+    the tracer resolves its span context behind the same branch -
+    ``tracemalloc`` filtered to context.py and distrib.py proves a gate
+    bootstrap plus a simulator run allocates *zero* objects in either
+    module while disabled, even inside an active trace context.
+    """
+    from repro.core.accelerator import MorphlingConfig
+    from repro.core.simulator import simulate_bootstrap
+    from repro.observability import context
+    from repro.params import get_params
+
+    ctx = TfheContext.create(TEST_PARAMS, seed=11)
+    config, params = MorphlingConfig(), get_params("I")
+    ctx.decrypt(ctx.gate("nand", ctx.encrypt(1), ctx.encrypt(0)))  # warm
+    simulate_bootstrap(config, params)  # warm
+    root = context.start_trace()  # allocated outside the trace window
+    obs.disable()
+    with context.use_context(root):
+        tracemalloc.start()
+        try:
+            ctx.decrypt(ctx.gate("nand", ctx.encrypt(1), ctx.encrypt(0)))
+            simulate_bootstrap(config, params)
+            snapshot = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+    stats = snapshot.filter_traces([
+        tracemalloc.Filter(True, "*observability/context.py"),
+        tracemalloc.Filter(True, "*observability/distrib.py"),
+    ]).statistics("filename")
+    blocks = sum(stat.count for stat in stats)
+    assert blocks == 0, (
+        f"disabled trace-context stamping allocated {blocks} blocks: {stats}"
+    )
+
+
 def test_counter_recording_is_deterministic_across_runs():
     """Two identical simulator runs must produce byte-identical digests."""
     from repro.core.accelerator import MorphlingConfig
@@ -393,5 +432,6 @@ if __name__ == "__main__":
     test_disabled_bus_allocates_nothing_on_gate_and_simulator_paths()
     test_disabled_flight_recorder_allocates_nothing()
     test_disabled_slo_instrumentation_allocates_nothing()
+    test_disabled_trace_context_allocates_nothing_on_hot_paths()
     test_counter_recording_is_deterministic_across_runs()
     print("overhead guard: OK")

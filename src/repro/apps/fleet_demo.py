@@ -1,0 +1,142 @@
+"""Multi-process fleet telemetry demo: ``python -m repro.apps.fleet_demo``.
+
+The smallest end-to-end exercise of :mod:`repro.observability.distrib`:
+a driver process opens its own telemetry shard, starts a root trace,
+injects the trace carrier, and forks N workers; each worker runs rounds
+of the real batched-bootstrap pipeline (``TfheContext.gate_batch`` on
+the test parameter set) under its own shard with heartbeats running.
+The driver then aggregates every shard into one fleet report - one
+timeline, exact fleet latency percentiles, per-worker rows.
+
+``--kill K`` SIGKILLs worker K mid-run, leaving a shard with no final
+heartbeat (and possibly a truncated last line): the aggregator's
+dead-worker detector declares it lost and builds a ``worker_lost``
+evidence bundle.  The CI ``fleet-telemetry`` job runs the clean 4-worker
+variant and fails if any worker is reported lost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import os
+import signal
+import sys
+import time
+from typing import List, Optional
+
+DEFAULT_WORKERS = 4
+DEFAULT_ROUNDS = 3
+DEFAULT_BATCH = 8
+DEFAULT_HEARTBEAT_S = 0.1
+
+_GATES = ("and", "or", "xor", "nand")
+
+
+def _worker_main(worker_id: str, shard_dir: str, carrier: Optional[str],
+                 rounds: int, batch: int, heartbeat_s: float,
+                 kill_after_round: Optional[int], seed: int) -> None:
+    """One worker process: shard + heartbeats + batched bootstraps.
+
+    Module-level (picklable) so the spawn start method works too; the
+    fork path additionally exercises the at-fork singleton reset.
+    """
+    from repro import observability as obs
+    from repro.observability.distrib import worker_telemetry
+    from repro.params import TEST_PARAMS
+    from repro.tfhe.ops import TfheContext
+
+    with worker_telemetry(worker_id, shard_dir, carrier=carrier,
+                          heartbeat_interval_s=heartbeat_s):
+        ctx = TfheContext.create(TEST_PARAMS, seed=seed)
+        for r in range(rounds):
+            with obs.TRACER.span(f"{worker_id}/round{r}", category="fleet",
+                                 worker=worker_id, round=r):
+                names = [_GATES[i % len(_GATES)] for i in range(batch)]
+                xs = [ctx.encrypt((i >> 0) & 1) for i in range(batch)]
+                ys = [ctx.encrypt((i >> 1) & 1) for i in range(batch)]
+                ctx.gate_batch(names, xs, ys)
+            if kill_after_round is not None and r >= kill_after_round:
+                os.kill(os.getpid(), signal.SIGKILL)  # hard crash, no cleanup
+
+
+def run_fleet(workers: int = DEFAULT_WORKERS, rounds: int = DEFAULT_ROUNDS,
+              batch: int = DEFAULT_BATCH, out: str = "fleet-shards",
+              kill: Optional[int] = None,
+              heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+              dump_dir: Optional[str] = None):
+    """Drive the fleet and return the aggregated
+    :class:`~repro.observability.distrib.FleetReport`."""
+    from repro import observability as obs
+    from repro.observability import context as trace_context
+    from repro.observability.distrib import (
+        aggregate_shards,
+        discover_shards,
+        worker_telemetry,
+    )
+
+    try:
+        mp = multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork (Windows)
+        mp = multiprocessing.get_context()
+
+    with worker_telemetry("driver", out, heartbeat_interval_s=heartbeat_s):
+        root = trace_context.start_trace()
+        with obs.TRACER.span("fleet/submit", category="fleet",
+                             ctx=root, workers=workers):
+            carrier = trace_context.inject(root)
+            procs: List[multiprocessing.Process] = []
+            for i in range(workers):
+                kill_after = 1 if (kill is not None and i == kill) else None
+                proc = mp.Process(
+                    target=_worker_main,
+                    args=(f"w{i}", out, carrier, rounds, batch, heartbeat_s,
+                          kill_after, 100 + i),
+                )
+                proc.start()
+                procs.append(proc)
+            for proc in procs:
+                proc.join(timeout=120.0)
+        if kill is not None:
+            # Let the driver's heartbeats extend the fleet timeline past
+            # the dead worker's last beacon so the detector can fire.
+            time.sleep(4.0 * heartbeat_s)
+
+    shards = discover_shards(out)
+    return aggregate_shards(shards, dump_dir=dump_dir)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.apps.fleet_demo",
+        description="multi-process batched-bootstrap run with per-worker "
+                    "telemetry shards and fleet aggregation",
+    )
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS,
+                        help="batched-bootstrap rounds per worker")
+    parser.add_argument("--batch", type=int, default=DEFAULT_BATCH,
+                        help="gates per batched bootstrap")
+    parser.add_argument("--out", default="fleet-shards",
+                        help="shard directory (events-<id>.jsonl per worker)")
+    parser.add_argument("--kill", type=int, default=None, metavar="K",
+                        help="SIGKILL worker K mid-run (worker_lost drill)")
+    parser.add_argument("--heartbeat", type=float, default=DEFAULT_HEARTBEAT_S,
+                        dest="heartbeat_s", metavar="SECONDS")
+    parser.add_argument("--dump", default=None, metavar="DIR",
+                        help="write worker_lost evidence bundles here")
+    args = parser.parse_args(argv)
+
+    report = run_fleet(workers=args.workers, rounds=args.rounds,
+                       batch=args.batch, out=args.out, kill=args.kill,
+                       heartbeat_s=args.heartbeat_s, dump_dir=args.dump)
+    print(report.render_text())
+    if args.kill is None and report.lost_workers:
+        # A clean run must never lose a worker (the CI gate).
+        print("unexpected worker_lost in a clean run", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,9 +34,14 @@ Commands
 ``record``       run a workload with the flight recorder armed; write
                  the event-window bundle (and, with ``--jsonl``, the
                  full structured event log) for offline replay
-``replay``       load a flight-recorder bundle: print its summary or
+``replay``       load flight-recorder bundle(s): print a summary or
                  render spans + counter tracks + noise waterfall as one
-                 merged Chrome timeline (``--chrome``)
+                 merged Chrome timeline (``--chrome``); several bundles
+                 merge onto one timeline
+``fleet``        aggregate per-worker telemetry shards (from a
+                 multi-process run) into one fleet report: merged
+                 timeline, exact fleet latency percentiles, per-worker
+                 rows and dead-worker detection (exit 1 on worker_lost)
 """
 
 from __future__ import annotations
@@ -233,9 +238,13 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--json", action="store_true",
                      help="print the final aggregated snapshot as JSON "
                           "instead of redrawing the panel")
-    top.add_argument("--from", dest="from_file", metavar="JSONL", default=None,
+    top.add_argument("--from", dest="from_files", metavar="JSONL",
+                     action="append", default=None,
                      help="fold a recorded JSONL event log (repro record "
-                          "--jsonl) offline instead of running a workload")
+                          "--jsonl) offline instead of running a workload; "
+                          "repeat the flag to merge several worker shards "
+                          "into one fleet view (all must share one event "
+                          "schema version)")
 
     slo = sub.add_parser(
         "slo",
@@ -281,13 +290,35 @@ def build_parser() -> argparse.ArgumentParser:
         "replay",
         help="summarize a flight bundle or render it as a merged timeline",
     )
-    rep.add_argument("bundle", help="flight-recorder bundle JSON file")
+    rep.add_argument("bundles", nargs="+", metavar="bundle",
+                     help="flight-recorder bundle JSON file(s); several "
+                          "merge into one timeline (all must share one "
+                          "event schema version)")
     rep.add_argument("--chrome", metavar="PATH", default=None,
                      help="write the bundle as one merged Chrome/Perfetto "
                           "timeline: spans + counter tracks + noise "
                           "waterfall in a single file")
     rep.add_argument("--json", action="store_true",
                      help="print the bundle summary as JSON")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="aggregate per-worker telemetry shards into one fleet report",
+    )
+    fleet.add_argument("shards", nargs="+", metavar="SHARD",
+                       help="per-worker JSONL shards (events-<id>.jsonl), "
+                            "or a directory containing them")
+    fleet.add_argument("--miss-factor", type=float, default=None,
+                       metavar="K",
+                       help="declare a worker lost after K missed heartbeat "
+                            "intervals (default 3.0)")
+    fleet.add_argument("--dump", metavar="DIR", default=None,
+                       help="write worker_lost evidence bundles here")
+    fleet.add_argument("--chrome", metavar="PATH", default=None,
+                       help="write the merged fleet timeline as a "
+                            "Chrome/Perfetto trace-event JSON file")
+    fleet.add_argument("--json", action="store_true",
+                       help="print the schema-versioned fleet report as JSON")
     return parser
 
 
@@ -666,15 +697,24 @@ def _cmd_top(args) -> int:
     from .observability.bus import TelemetryBus
     from .observability.dashboard import Dashboard, run_top
 
-    if args.from_file is not None:
-        # Offline post-mortem: fold a recorded event log through the same
+    if args.from_files:
+        # Offline post-mortem: fold recorded event logs through the same
         # aggregation a live run feeds.  A private disabled bus keeps the
-        # dashboard away from the process singletons.
+        # dashboard away from the process singletons.  With the flag
+        # repeated, the fleet aggregator merges the shards onto one
+        # timeline first (rejecting mixed schema versions).
+        from .observability.distrib import aggregate_shards
+
         dash = Dashboard(bus=TelemetryBus())
         try:
-            count = dash.feed_jsonl(args.from_file)
+            if len(args.from_files) == 1:
+                count = dash.feed_jsonl(args.from_files[0])
+            else:
+                report = aggregate_shards(args.from_files)
+                count = dash.feed_events(report.events)
         except (OSError, ValueError) as exc:
-            print(f"cannot replay {args.from_file}: {exc}", file=sys.stderr)
+            source = ", ".join(args.from_files)
+            print(f"cannot replay {source}: {exc}", file=sys.stderr)
             return 2
         finally:
             dash.close()
@@ -682,7 +722,8 @@ def _cmd_top(args) -> int:
             _print_json(dash.snapshot())
         else:
             print(dash.render())
-            print(f"(offline: {count} events from {args.from_file})")
+            sources = ", ".join(args.from_files)
+            print(f"(offline: {count} events from {sources})")
         return 0
 
     workload = _make_workload(args.workload)
@@ -785,20 +826,66 @@ def _cmd_record(args) -> int:
     return 0
 
 
+def _merge_bundles(bundles: "list") -> dict:
+    """Concatenate several flight bundles into one pseudo-bundle.
+
+    Events sort by their ``t_s``; kind counts sum; the trigger records
+    which bundles went in.  Callers must have checked that the event
+    schema versions match.
+    """
+    events = sorted(
+        (e for b in bundles for e in b.get("events", [])),
+        key=lambda e: (float(e.get("t_s", 0.0)), int(e.get("seq", 0))),
+    )
+    counts: dict = {}
+    for b in bundles:
+        for kind, count in b.get("counts", {}).items():
+            counts[kind] = counts.get(kind, 0) + count
+    return {
+        "schema_version": bundles[0]["schema_version"],
+        "kind": "flight_bundle",
+        "event_schema_version": bundles[0].get("event_schema_version"),
+        "trigger": {
+            "reason": "merged_replay",
+            "t_s": max(float(b["trigger"]["t_s"]) for b in bundles),
+            "fields": {"bundles": len(bundles),
+                       "reasons": sorted({str(b["trigger"]["reason"])
+                                          for b in bundles})},
+        },
+        "window_s": max(float(b.get("window_s", 0.0)) for b in bundles),
+        "capacity": sum(int(b.get("capacity", 0)) for b in bundles),
+        "counts": {k: counts[k] for k in sorted(counts)},
+        "events": events,
+    }
+
+
 def _cmd_replay(args) -> int:
     from .observability.export import flight_trace_events, write_chrome_trace
     from .observability.flightrec import load_bundle
 
-    try:
-        bundle = load_bundle(args.bundle)
-    except (OSError, ValueError) as exc:
-        print(f"cannot replay {args.bundle}: {exc}", file=sys.stderr)
+    bundles = []
+    for path in args.bundles:
+        try:
+            bundles.append(load_bundle(path))
+        except (OSError, ValueError) as exc:
+            print(f"cannot replay {path}: {exc}", file=sys.stderr)
+            return 2
+    versions = {b.get("event_schema_version") for b in bundles}
+    if len(versions) > 1:
+        detail = "; ".join(
+            f"{path}: v{b.get('event_schema_version')}"
+            for path, b in zip(args.bundles, bundles)
+        )
+        print(f"cannot replay bundles with mixed event schema versions "
+              f"({detail})", file=sys.stderr)
         return 2
+    bundle = bundles[0] if len(bundles) == 1 else _merge_bundles(bundles)
+    source = ", ".join(args.bundles)
     trigger = bundle["trigger"]
     if args.chrome:
         write_chrome_trace(
             args.chrome, flight_trace_events(bundle),
-            metadata={"bundle": args.bundle,
+            metadata={"bundle": source,
                       "trigger": trigger["reason"],
                       "schema_version": bundle["schema_version"]},
         )
@@ -812,7 +899,7 @@ def _cmd_replay(args) -> int:
         }
         _print_json(summary)
         return 0
-    print(f"flight bundle {args.bundle} (schema v{bundle['schema_version']})")
+    print(f"flight bundle {source} (schema v{bundle['schema_version']})")
     fields = ", ".join(f"{k}={v}" for k, v in trigger["fields"].items())
     print(f"  trigger : {trigger['reason']} at t={trigger['t_s']:.3f}s"
           + (f" ({fields})" if fields else ""))
@@ -824,6 +911,46 @@ def _cmd_replay(args) -> int:
         print(f"wrote merged timeline to {args.chrome} "
               f"(open in ui.perfetto.dev or chrome://tracing)")
     return 0
+
+
+def _cmd_fleet(args) -> int:
+    import os
+
+    from .observability.distrib import aggregate_shards, discover_shards
+    from .observability.export import flight_trace_events, write_chrome_trace
+
+    paths: list = []
+    for entry in args.shards:
+        if os.path.isdir(entry):
+            found = discover_shards(entry)
+            if not found:
+                print(f"no events-*.jsonl shards under {entry}",
+                      file=sys.stderr)
+                return 2
+            paths.extend(found)
+        else:
+            paths.append(entry)
+    kwargs = {} if args.miss_factor is None else {"miss_factor": args.miss_factor}
+    try:
+        report = aggregate_shards(paths, dump_dir=args.dump, **kwargs)
+    except (OSError, ValueError) as exc:
+        print(f"cannot aggregate shards: {exc}", file=sys.stderr)
+        return 2
+    if args.chrome:
+        write_chrome_trace(
+            args.chrome, flight_trace_events(report.to_bundle()),
+            metadata={"shards": len(paths),
+                      "workers": sorted(report.workers)},
+        )
+    if args.json:
+        _print_json(report.to_jsonable())
+    else:
+        print(report.render_text())
+        if args.dump and report.lost_workers:
+            print(f"worker_lost evidence bundles under {args.dump}/")
+        if args.chrome:
+            print(f"wrote merged fleet timeline to {args.chrome}")
+    return 1 if report.lost_workers else 0
 
 
 def _log2(value: float) -> float:
@@ -859,6 +986,7 @@ _COMMANDS = {
     "slo": _cmd_slo,
     "record": _cmd_record,
     "replay": _cmd_replay,
+    "fleet": _cmd_fleet,
 }
 
 

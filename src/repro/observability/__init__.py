@@ -38,15 +38,34 @@ from contextlib import contextmanager
 from .bus import (
     BUS,
     EVENT_SCHEMA_VERSION,
+    SUPPORTED_EVENT_SCHEMA_VERSIONS,
     JsonlEventLog,
     TelemetryBus,
     TelemetryEvent,
     event_from_jsonable,
     event_to_jsonable,
     read_jsonl_events,
+    read_jsonl_header,
+)
+from .context import (
+    TraceContext,
+    extract,
+    get_worker_id,
+    inject,
+    set_worker_id,
+    start_trace,
+    use_context,
 )
 from .counters import COUNTERS, PerfCounters, counting
 from .dashboard import Dashboard, run_top
+from .distrib import (
+    FLEET_SCHEMA_VERSION,
+    FleetReport,
+    ShardWriter,
+    aggregate_shards,
+    discover_shards,
+    worker_telemetry,
+)
 from .export import (
     chrome_trace_events,
     counter_track_events,
@@ -140,9 +159,24 @@ __all__ = [
     "TelemetryEvent",
     "JsonlEventLog",
     "EVENT_SCHEMA_VERSION",
+    "SUPPORTED_EVENT_SCHEMA_VERSIONS",
     "event_to_jsonable",
     "event_from_jsonable",
     "read_jsonl_events",
+    "read_jsonl_header",
+    "TraceContext",
+    "start_trace",
+    "use_context",
+    "inject",
+    "extract",
+    "set_worker_id",
+    "get_worker_id",
+    "ShardWriter",
+    "worker_telemetry",
+    "discover_shards",
+    "FleetReport",
+    "aggregate_shards",
+    "FLEET_SCHEMA_VERSION",
     "FlightRecorder",
     "BUNDLE_SCHEMA_VERSION",
     "flight_recording",

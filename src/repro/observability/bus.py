@@ -8,8 +8,11 @@ an always-on flight recorder can subscribe to.  This module is that
 missing spine.
 
 A :class:`TelemetryBus` carries :class:`TelemetryEvent` values - small
-frozen records ``(seq, t_s, kind, name, value, fields)`` - from
-*publishers* to *subscribers*:
+frozen records ``(seq, t_s, kind, name, value, fields)`` plus the
+distributed identity stamped since schema v2 (``worker`` and the
+``trace_id/span_id/parent_id`` triple from
+:mod:`repro.observability.context`) - from *publishers* to
+*subscribers*:
 
 - the four existing systems publish as a side effect of recording (a
   counter increment becomes a ``"metric"`` event, a span a ``"span"``
@@ -36,14 +39,19 @@ takes a lock around user code.
 
 from __future__ import annotations
 
+import atexit
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import IO, Any, Callable, Dict, List, Optional, Tuple, Union
 
+from . import context as _context
+
 __all__ = [
     "EVENT_SCHEMA_VERSION",
+    "SUPPORTED_EVENT_SCHEMA_VERSIONS",
     "EVENT_KINDS",
     "TelemetryEvent",
     "TelemetryBus",
@@ -52,10 +60,17 @@ __all__ = [
     "event_to_jsonable",
     "event_from_jsonable",
     "read_jsonl_events",
+    "read_jsonl_header",
 ]
 
 #: Bump on any incompatible change to the JSONL / bundle event shape.
-EVENT_SCHEMA_VERSION = 1
+#: v2 added the distributed-identity fields (``worker``, ``trace_id``,
+#: ``span_id``, ``parent_id``) and the ``"heartbeat"`` kind.
+EVENT_SCHEMA_VERSION = 2
+
+#: Versions :func:`event_from_jsonable` can still read.  v1 records
+#: simply lack the distributed-identity fields; readers default them.
+SUPPORTED_EVENT_SCHEMA_VERSIONS = (1, 2)
 
 #: The closed set of event kinds the bus carries.  Publishers may only
 #: use these; consumers switch on them.
@@ -72,6 +87,7 @@ EVENT_KINDS = (
     "workload",       # workload descriptor announced before a run
     "anomaly",        # a trigger fired (drift breach, budget overrun, ...)
     "request",        # one request-latency sample (value=s, count-weighted)
+    "heartbeat",      # worker liveness beacon (distrib shards)
 )
 
 
@@ -83,6 +99,11 @@ class TelemetryEvent:
     inject a deterministic clock).  ``value`` is the event's one headline
     number when it has one (span duration, sample value, batch size);
     everything else rides in ``fields``.
+
+    Since schema v2 every event also carries its distributed identity:
+    ``worker`` is the producing process's id ("" when anonymous) and
+    ``trace_id/span_id/parent_id`` mirror the trace context active at
+    publish time (None outside any trace).
     """
 
     seq: int
@@ -90,6 +111,10 @@ class TelemetryEvent:
     kind: str
     name: str
     value: Optional[float] = None
+    worker: str = ""
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
     fields: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -97,8 +122,9 @@ def event_to_jsonable(event: TelemetryEvent) -> Dict[str, Any]:
     """Stable-field-order plain dict for one event.
 
     The order is part of the JSONL contract (golden-tested): ``v, seq,
-    t_s, kind, name, value, fields`` - with ``fields`` keys sorted - so
-    logs diff cleanly and line-level consumers can parse positionally.
+    t_s, kind, name, value, worker, trace_id, span_id, parent_id,
+    fields`` - with ``fields`` keys sorted - so logs diff cleanly and
+    line-level consumers can parse positionally.
     """
     from .export import to_jsonable
 
@@ -109,6 +135,10 @@ def event_to_jsonable(event: TelemetryEvent) -> Dict[str, Any]:
         "kind": event.kind,
         "name": event.name,
         "value": event.value,
+        "worker": event.worker,
+        "trace_id": event.trace_id,
+        "span_id": event.span_id,
+        "parent_id": event.parent_id,
         "fields": {k: to_jsonable(event.fields[k]) for k in sorted(event.fields)},
     }
 
@@ -117,14 +147,17 @@ def event_from_jsonable(record: Dict[str, Any]) -> TelemetryEvent:
     """Rebuild a :class:`TelemetryEvent` from an exported JSONL record.
 
     Inverse of :func:`event_to_jsonable` for offline replay (``repro top
-    --from``): the schema version must match and header records are
-    rejected - filter with :func:`read_jsonl_events` first.
+    --from``): the schema version must be one of
+    :data:`SUPPORTED_EVENT_SCHEMA_VERSIONS` (v1 records default the
+    distributed-identity fields) and header records are rejected -
+    filter with :func:`read_jsonl_events` first.
     """
     version = record.get("v")
-    if version != EVENT_SCHEMA_VERSION:
+    if version not in SUPPORTED_EVENT_SCHEMA_VERSIONS:
+        supported = ", ".join(f"v{v}" for v in SUPPORTED_EVENT_SCHEMA_VERSIONS)
         raise ValueError(
             f"unsupported event schema version {version!r} "
-            f"(this build reads v{EVENT_SCHEMA_VERSION})"
+            f"(this build reads {supported})"
         )
     kind = record["kind"]
     if kind == "jsonl_header":
@@ -137,6 +170,10 @@ def event_from_jsonable(record: Dict[str, Any]) -> TelemetryEvent:
         kind=kind,
         name=record["name"],
         value=None if value is None else float(value),
+        worker=str(record.get("worker", "")),
+        trace_id=record.get("trace_id"),
+        span_id=record.get("span_id"),
+        parent_id=record.get("parent_id"),
         fields=dict(record.get("fields", {})),
     )
 
@@ -157,10 +194,13 @@ class TelemetryBus:
     """
 
     def __init__(self, enabled: bool = False,
-                 clock: Optional[Callable[[], float]] = None):
+                 clock: Optional[Callable[[], float]] = None,
+                 wall_clock: Optional[Callable[[], float]] = None):
         self.enabled = enabled
         self._clock = clock if clock is not None else time.perf_counter
+        self._wall_clock = wall_clock if wall_clock is not None else time.time
         self._epoch = self._clock()
+        self._epoch_unix = self._wall_clock()
         self._lock = threading.Lock()
         self._seq = 0
         self._subscribers: Tuple[Subscriber, ...] = ()
@@ -181,6 +221,7 @@ class TelemetryBus:
         with self._lock:
             self._seq = 0
             self._epoch = self._clock()
+            self._epoch_unix = self._wall_clock()
 
     # -- subscriptions ----------------------------------------------------
     def subscribe(self, fn: Subscriber) -> Subscriber:
@@ -205,6 +246,16 @@ class TelemetryBus:
         """Seconds since the bus epoch (the ``t_s`` of a new event)."""
         return self._clock() - self._epoch
 
+    @property
+    def epoch_unix(self) -> float:
+        """Wall-clock time (unix seconds) of the bus epoch.
+
+        Written into JSONL shard headers so the fleet aggregator can put
+        events from different processes on one global timeline:
+        ``global_t = epoch_unix + t_s``.
+        """
+        return self._epoch_unix
+
     # -- publishing -------------------------------------------------------
     def publish(self, kind: str, name: str, value: Optional[float] = None,
                 **fields: Any) -> Optional[TelemetryEvent]:
@@ -221,12 +272,17 @@ class TelemetryBus:
         with self._lock:
             seq = self._seq
             self._seq += 1
+        ctx = _context.current()
         event = TelemetryEvent(
             seq=seq,
             t_s=self._clock() - self._epoch,
             kind=kind,
             name=name,
             value=None if value is None else float(value),
+            worker=_context.get_worker_id(),
+            trace_id=None if ctx is None else ctx.trace_id,
+            span_id=None if ctx is None else ctx.span_id,
+            parent_id=None if ctx is None else ctx.parent_id,
             fields=fields,
         )
         for subscriber in self._subscribers:
@@ -253,9 +309,18 @@ class JsonlEventLog:
         with obs.telemetry(), JsonlEventLog("run.jsonl") as log:
             run_workload(...)
         # one line per event, replayable offline
+
+    Crash safety: the log registers an ``atexit`` flush (so an
+    interpreter shutdown never strands buffered lines) and flushes
+    eagerly whenever an ``"anomaly"`` event passes through (the flight
+    recorder publishes one before cutting a bundle, so the shard on disk
+    is complete up to the moment something went wrong).  Both hooks are
+    pid-guarded: a fork child inheriting this object by accident will
+    not double-flush the parent's file handle.
     """
 
-    def __init__(self, target: Union[str, IO[str]], bus: Optional[TelemetryBus] = None):
+    def __init__(self, target: Union[str, IO[str]], bus: Optional[TelemetryBus] = None,
+                 worker: Optional[str] = None):
         self._bus = bus if bus is not None else BUS
         if isinstance(target, str):
             self._fh: IO[str] = open(target, "w")
@@ -264,15 +329,21 @@ class JsonlEventLog:
             self._fh = target
             self._owns_fh = False
         self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self._closed = False
+        self.worker = worker if worker is not None else _context.get_worker_id()
         self.lines_written = 0
         self._write_header()
         self._bus.subscribe(self._on_event)
+        atexit.register(self._atexit_flush)
 
     def _write_header(self) -> None:
         header = {
             "v": EVENT_SCHEMA_VERSION,
             "kind": "jsonl_header",
             "producer": "repro.observability.bus",
+            "worker": self.worker,
+            "epoch_unix": self._bus.epoch_unix,
         }
         self._fh.write(json.dumps(header, separators=(", ", ": ")) + "\n")
 
@@ -282,13 +353,39 @@ class JsonlEventLog:
         with self._lock:
             self._fh.write(line + "\n")
             self.lines_written += 1
+            if event.kind == "anomaly":
+                # Something just went wrong; make the shard durable up
+                # to this moment in case the process dies next.
+                self._fh.flush()
+
+    def flush(self) -> None:
+        """Flush buffered lines to the underlying file."""
+        with self._lock:
+            if not self._closed:
+                self._fh.flush()
+
+    def _atexit_flush(self) -> None:
+        if self._closed or os.getpid() != self._pid:
+            return
+        try:
+            self.flush()
+        except (OSError, ValueError):
+            pass  # interpreter teardown; the file may already be gone
 
     def close(self) -> None:
         """Detach from the bus and flush/close the underlying file."""
         self._bus.unsubscribe(self._on_event)
-        self._fh.flush()
-        if self._owns_fh:
-            self._fh.close()
+        if self._closed:
+            return
+        with self._lock:
+            self._closed = True
+            self._fh.flush()
+            if self._owns_fh:
+                self._fh.close()
+        try:
+            atexit.unregister(self._atexit_flush)
+        except Exception:
+            pass
 
     def __enter__(self) -> "JsonlEventLog":
         return self
@@ -297,16 +394,48 @@ class JsonlEventLog:
         self.close()
 
 
-def read_jsonl_events(path: str) -> List[Dict[str, Any]]:
-    """Load a JSONL event log back into plain dicts (header skipped)."""
-    events: List[Dict[str, Any]] = []
+def read_jsonl_header(path: str) -> Optional[Dict[str, Any]]:
+    """The file's ``jsonl_header`` record, or None when absent.
+
+    The header carries the schema version, the producing worker's id,
+    and ``epoch_unix`` - everything the fleet aggregator needs before it
+    commits to reading the body.
+    """
     with open(path) as fh:
         for line in fh:
             line = line.strip()
             if not line:
                 continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                return None
+            return record if record.get("kind") == "jsonl_header" else None
+    return None
+
+
+def read_jsonl_events(path: str, tolerant: bool = False) -> List[Dict[str, Any]]:
+    """Load a JSONL event log back into plain dicts (header skipped).
+
+    With ``tolerant=True`` an undecodable *final* line is silently
+    dropped: a SIGKILL'd worker can die mid-write, leaving one truncated
+    record at the tail of an otherwise-valid shard.  Corruption anywhere
+    else still raises - that is a broken file, not a crash artifact.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        lines = fh.readlines()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
             record = json.loads(line)
-            if record.get("kind") == "jsonl_header":
-                continue
-            events.append(record)
+        except json.JSONDecodeError:
+            if tolerant and i == len(lines) - 1:
+                break
+            raise
+        if record.get("kind") == "jsonl_header":
+            continue
+        events.append(record)
     return events

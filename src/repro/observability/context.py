@@ -1,0 +1,206 @@
+"""Causal trace context: W3C-traceparent-style propagation primitives.
+
+Every telemetry subsystem built in PRs 1-8 is a per-process singleton
+with no notion of *which request* an event belongs to or *which worker*
+produced it.  This module supplies both identities as ambient context:
+
+- a :class:`TraceContext` is the ``(trace_id, span_id, parent_id)``
+  triple of distributed tracing: ``trace_id`` names the request end to
+  end, ``span_id`` the operation currently in flight, ``parent_id`` the
+  operation that caused it.  The active context lives in a
+  :mod:`contextvars` variable, so it nests correctly across threads and
+  ``with`` blocks;
+- the **carrier** form is a W3C ``traceparent``-style string
+  (``00-<32 hex trace id>-<16 hex span id>-01``) produced by
+  :func:`inject` and parsed by :func:`extract`, so a parent process can
+  hand its context to a ``multiprocessing`` worker through any string
+  channel (argument tuple, environment, queue) and the worker's spans
+  parent correctly across the process boundary;
+- a process-wide **worker id** (:func:`set_worker_id` /
+  :func:`get_worker_id`) stamps every published event with the shard
+  identity the fleet aggregator re-sequences by.
+
+Import discipline: this module imports only the standard library so the
+bus can import it without cycles.  Nothing here allocates on telemetry's
+disabled paths - the bus only consults :func:`current` and
+:func:`get_worker_id` after its own ``enabled`` check passed
+(``benchmarks/bench_observability_overhead.py`` proves the disabled
+paths never touch this module).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import re
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = [
+    "TraceContext",
+    "current",
+    "start_trace",
+    "child_of",
+    "use_context",
+    "inject",
+    "extract",
+    "set_worker_id",
+    "get_worker_id",
+]
+
+#: Carrier version prefix (the W3C ``traceparent`` version field).
+CARRIER_VERSION = "00"
+
+_CARRIER_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One node of a distributed trace: ``(trace_id, span_id, parent_id)``.
+
+    ``trace_id`` is shared by every span of one request; ``span_id``
+    identifies this operation; ``parent_id`` is the ``span_id`` of the
+    causing operation (``None`` for a root).  Ids are lowercase hex:
+    16 bytes for the trace, 8 for spans, per the W3C trace-context
+    format.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not re.fullmatch(r"[0-9a-f]{32}", self.trace_id):
+            raise ValueError(
+                f"trace_id must be 32 lowercase hex chars, got {self.trace_id!r}"
+            )
+        if not re.fullmatch(r"[0-9a-f]{16}", self.span_id):
+            raise ValueError(
+                f"span_id must be 16 lowercase hex chars, got {self.span_id!r}"
+            )
+        if self.parent_id is not None and not re.fullmatch(
+            r"[0-9a-f]{16}", self.parent_id
+        ):
+            raise ValueError(
+                f"parent_id must be 16 lowercase hex chars, got {self.parent_id!r}"
+            )
+
+    def child(self) -> "TraceContext":
+        """A fresh span in the same trace, parented to this one."""
+        return TraceContext(self.trace_id, new_span_id(), self.span_id)
+
+
+#: The ambient trace context (None outside any trace).
+_CURRENT: contextvars.ContextVar[Optional[TraceContext]] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+
+#: The process's worker identity ("" until a shard/worker init names it).
+_WORKER_ID: str = ""
+
+
+def new_trace_id() -> str:
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+def current() -> Optional[TraceContext]:
+    """The active trace context, or None outside any trace."""
+    return _CURRENT.get()
+
+
+def start_trace() -> TraceContext:
+    """A fresh root context (new trace id, new span id, no parent).
+
+    This only *creates* the context; activate it with
+    :func:`use_context` (and record its root span via
+    ``Tracer.span(..., ctx=root)`` so children have a span to resolve
+    their ``parent_id`` against).
+    """
+    return TraceContext(new_trace_id(), new_span_id(), None)
+
+
+def child_of(ctx: Optional[TraceContext]) -> Optional[TraceContext]:
+    """A child of ``ctx`` (None in, None out - convenience for callers)."""
+    return ctx.child() if ctx is not None else None
+
+
+@contextmanager
+def use_context(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Activate ``ctx`` for the duration of the block (None deactivates)."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+def activate(ctx: Optional[TraceContext]) -> "contextvars.Token[Optional[TraceContext]]":
+    """Low-level: set the ambient context, returning the reset token."""
+    return _CURRENT.set(ctx)
+
+
+def deactivate(token: "contextvars.Token[Optional[TraceContext]]") -> None:
+    """Low-level: restore the context captured by :func:`activate`."""
+    _CURRENT.reset(token)
+
+
+def inject(ctx: Optional[TraceContext] = None) -> Optional[str]:
+    """Serialize ``ctx`` (default: the active context) into a carrier.
+
+    The carrier is the W3C ``traceparent`` shape
+    ``00-<trace_id>-<span_id>-01``: the receiving process's spans will
+    parent to the injected ``span_id``.  Returns None when there is no
+    context to carry.
+    """
+    if ctx is None:
+        ctx = current()
+    if ctx is None:
+        return None
+    return f"{CARRIER_VERSION}-{ctx.trace_id}-{ctx.span_id}-01"
+
+
+def extract(carrier: Optional[str]) -> Optional[TraceContext]:
+    """Parse a carrier back into a :class:`TraceContext` (None passes through).
+
+    The returned context's ``span_id`` is the *sender's* span: entering
+    it (``use_context``) makes every local span a child of the remote
+    parent.  Malformed carriers raise ``ValueError`` - a worker must not
+    silently detach from its trace.
+    """
+    if carrier is None:
+        return None
+    match = _CARRIER_RE.match(carrier.strip().lower())
+    if match is None:
+        raise ValueError(
+            f"malformed trace carrier {carrier!r}; expected "
+            f"'00-<32 hex>-<16 hex>-<2 hex>'"
+        )
+    return TraceContext(match.group("trace_id"), match.group("span_id"), None)
+
+
+def set_worker_id(worker_id: str) -> None:
+    """Name this process for telemetry ("" clears back to anonymous).
+
+    The id is stamped into every published event's ``worker`` field and
+    into shard filenames (``events-<worker_id>.jsonl``); keep it short
+    and filesystem-safe (``w0``..``wN``, ``driver``).
+    """
+    if not re.fullmatch(r"[A-Za-z0-9._-]*", worker_id):
+        raise ValueError(
+            f"worker id must be filesystem-safe ([A-Za-z0-9._-]*), got {worker_id!r}"
+        )
+    global _WORKER_ID
+    _WORKER_ID = worker_id
+
+
+def get_worker_id() -> str:
+    """The process's worker id ("" when never set)."""
+    return _WORKER_ID

@@ -28,7 +28,7 @@ import sys
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Deque, Dict, IO, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, IO, Iterable, List, Optional, Tuple
 
 from .bus import BUS, TelemetryBus, TelemetryEvent, event_from_jsonable, read_jsonl_events
 from .flightrec import DEFAULT_DRIFT_SIGMAS
@@ -74,6 +74,9 @@ class Dashboard:
         )
         self._workload: Optional[str] = None
         self._report: Dict[str, Any] = {}
+        # worker id -> {events, bootstraps, requests, heartbeats,
+        #               last_heartbeat_t, final_heartbeat}
+        self._workers: Dict[str, Dict[str, Any]] = {}
         self.bus.subscribe(self._on_event)
 
     def close(self) -> None:
@@ -93,6 +96,22 @@ class Dashboard:
                 self._first_t = event.t_s
             self._last_t = event.t_s
             kind = event.kind
+            if event.worker:
+                row = self._workers.setdefault(event.worker, {
+                    "events": 0, "bootstraps": 0.0, "requests": 0,
+                    "heartbeats": 0, "last_heartbeat_t": None,
+                    "final_heartbeat": False,
+                })
+                row["events"] += 1
+                if kind == "batch":
+                    row["bootstraps"] += float(event.value or 0.0)
+                elif kind == "request":
+                    row["requests"] += int(event.fields.get("count", 1) or 1)
+                elif kind == "heartbeat":
+                    row["heartbeats"] += 1
+                    row["last_heartbeat_t"] = event.t_s
+                    if event.fields.get("final"):
+                        row["final_heartbeat"] = True
             if kind == "batch":
                 self._bootstraps += float(event.value or 0.0)
                 capacity = event.fields.get("capacity")
@@ -148,6 +167,15 @@ class Dashboard:
             self._on_event(event_from_jsonable(record))
         return len(events)
 
+    def feed_events(self, events: Iterable[TelemetryEvent]) -> int:
+        """Fold already-parsed events (a fleet aggregator's merged
+        timeline) through the same live aggregation.  Returns the count."""
+        n = 0
+        for event in events:
+            self._on_event(event)
+            n += 1
+        return n
+
     # -- reads --------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """Deterministic plain-dict view of the aggregated state."""
@@ -201,6 +229,8 @@ class Dashboard:
                 ],
                 "reports": {k: dict(sorted(v.items()))
                             for k, v in sorted(self._report.items())},
+                "workers": {w: dict(self._workers[w])
+                            for w in sorted(self._workers)},
             }
 
     def render(self, width: int = 72) -> str:
@@ -259,6 +289,19 @@ class Dashboard:
                 )
         else:
             lines.append("requests: (no request events yet)")
+        workers = snap["workers"]
+        if len(workers) > 1:
+            lines.append("-" * width)
+            lines.append(f"workers ({len(workers)}):")
+            for worker_id in sorted(workers):
+                row = workers[worker_id]
+                status = "ok" if row["final_heartbeat"] else "open"
+                lines.append(
+                    f"  {worker_id:<12.12s} events {row['events']:>7,d}  "
+                    f"bootstraps {row['bootstraps']:>9,.0f}  "
+                    f"requests {row['requests']:>7,d}  "
+                    f"hb {row['heartbeats']:>4d} {status}"
+                )
         lines.append("-" * width)
         if snap["worst_sigma"] is None:
             noise_line = f"noise: {snap['noise_ops']} ops, unmeasured"

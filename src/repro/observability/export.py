@@ -434,6 +434,15 @@ def flight_trace_events(bundle: Dict[str, Any]) -> List[dict]:
         fields: Dict[str, Any] = r.get("fields", {})
         bus_ts = (float(r["t_s"]) - t0) * 1e6
         if kind == "span":
+            args = dict(to_jsonable(fields.get("args", {})))
+            # v2 events carry their distributed identity; surface it in
+            # the viewer so cross-process parent links are inspectable.
+            if r.get("trace_id"):
+                args["trace_id"] = r["trace_id"]
+                args["span_id"] = r.get("span_id")
+                args["parent_id"] = r.get("parent_id")
+            if r.get("worker"):
+                args["worker"] = r["worker"]
             spans.append(
                 {
                     "name": r["name"],
@@ -443,7 +452,7 @@ def flight_trace_events(bundle: Dict[str, Any]) -> List[dict]:
                     "dur": float(fields.get("dur_us", r.get("value") or 0.0)),
                     "pid": _PID,
                     "tid": span_tracks[str(fields.get("track", "main"))],
-                    "args": to_jsonable(fields.get("args", {})),
+                    "args": args,
                 }
             )
         elif kind in ("counter", "metric"):

@@ -188,6 +188,38 @@ class QuantileSketch:
         """Canonical bucket state, for exact-equality assertions in tests."""
         return (self._zero_count, tuple(sorted(self._buckets.items())))
 
+    def to_state(self) -> Dict[str, Any]:
+        """Lossless JSON-serializable state (inverse: :meth:`from_state`).
+
+        Unlike :meth:`to_jsonable` (which quotes quantile *estimates*),
+        this carries the raw sparse buckets, so a shard snapshot written
+        by one process can be rebuilt in another and merged exactly -
+        the round trip is bucket-for-bucket identical.
+        """
+        return {
+            "relative_accuracy": self.alpha,
+            "zero_count": self._zero_count,
+            "buckets": [[index, count]
+                        for index, count in sorted(self._buckets.items())],
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "QuantileSketch":
+        """Rebuild a sketch from :meth:`to_state` output (exact)."""
+        sketch = cls(float(state["relative_accuracy"]))
+        sketch._zero_count = int(state["zero_count"])
+        sketch._buckets = {int(index): int(count)
+                           for index, count in state["buckets"]}
+        sketch.count = int(state["count"])
+        sketch.sum = float(state["sum"])
+        sketch.min = None if state["min"] is None else float(state["min"])
+        sketch.max = None if state["max"] is None else float(state["max"])
+        return sketch
+
     def __len__(self) -> int:
         return self.count
 

@@ -97,6 +97,7 @@ class TestJsonable:
         event = bus.publish("metric", "m", value=1.0, b=2, a=1)
         record = event_to_jsonable(event)
         assert list(record) == ["v", "seq", "t_s", "kind", "name", "value",
+                                "worker", "trace_id", "span_id", "parent_id",
                                 "fields"]
         assert record["v"] == EVENT_SCHEMA_VERSION
 
@@ -118,7 +119,9 @@ class TestJsonlEventLog:
         assert len(lines) == 3
         header = json.loads(lines[0])
         assert header == {"v": EVENT_SCHEMA_VERSION, "kind": "jsonl_header",
-                          "producer": "repro.observability.bus"}
+                          "producer": "repro.observability.bus",
+                          "worker": "",
+                          "epoch_unix": _golden.FAKE_EPOCH_UNIX}
         assert json.loads(lines[1])["name"] == "a"
 
     def test_close_detaches_from_bus(self, bus):

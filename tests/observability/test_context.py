@@ -1,0 +1,175 @@
+"""Tests for trace-context propagation (repro.observability.context)."""
+
+import pytest
+
+from repro import observability as obs
+from repro.observability import context
+
+
+@pytest.fixture(autouse=True)
+def _clean_identity():
+    """Leave no ambient context or worker id behind."""
+    yield
+    context.set_worker_id("")
+    assert context.current() is None, "test leaked an active trace context"
+
+
+class TestTraceContext:
+    def test_start_trace_is_a_root(self):
+        root = context.start_trace()
+        assert len(root.trace_id) == 32
+        assert len(root.span_id) == 16
+        assert root.parent_id is None
+
+    def test_child_shares_trace_and_parents_to_creator(self):
+        root = context.start_trace()
+        kid = root.child()
+        assert kid.trace_id == root.trace_id
+        assert kid.parent_id == root.span_id
+        assert kid.span_id != root.span_id
+
+    def test_ids_are_validated_hex(self):
+        with pytest.raises(ValueError, match="trace_id"):
+            context.TraceContext("xyz", "0123456789abcdef")
+        with pytest.raises(ValueError, match="span_id"):
+            context.TraceContext("0" * 32, "short")
+        with pytest.raises(ValueError, match="parent_id"):
+            context.TraceContext("0" * 32, "1" * 16, "nope")
+
+    def test_child_of_passes_none_through(self):
+        assert context.child_of(None) is None
+
+
+class TestAmbientContext:
+    def test_default_is_none(self):
+        assert context.current() is None
+
+    def test_use_context_scopes_and_restores(self):
+        ctx = context.start_trace()
+        with context.use_context(ctx):
+            assert context.current() is ctx
+            inner = ctx.child()
+            with context.use_context(inner):
+                assert context.current() is inner
+            assert context.current() is ctx
+        assert context.current() is None
+
+    def test_activate_deactivate_round_trip(self):
+        ctx = context.start_trace()
+        token = context.activate(ctx)
+        assert context.current() is ctx
+        context.deactivate(token)
+        assert context.current() is None
+
+
+class TestCarrier:
+    def test_inject_extract_round_trip(self):
+        root = context.start_trace()
+        carrier = context.inject(root)
+        assert carrier == f"00-{root.trace_id}-{root.span_id}-01"
+        back = context.extract(carrier)
+        assert back.trace_id == root.trace_id
+        assert back.span_id == root.span_id
+        assert back.parent_id is None
+
+    def test_inject_defaults_to_ambient_context(self):
+        assert context.inject() is None
+        ctx = context.start_trace()
+        with context.use_context(ctx):
+            assert context.inject() == context.inject(ctx)
+
+    def test_extract_none_passes_through(self):
+        assert context.extract(None) is None
+
+    @pytest.mark.parametrize("bad", [
+        "", "garbage", "00-short-0123456789abcdef-01",
+        "00-" + "g" * 32 + "-0123456789abcdef-01",
+    ])
+    def test_extract_rejects_malformed_carriers(self, bad):
+        with pytest.raises(ValueError, match="malformed trace carrier"):
+            context.extract(bad)
+
+
+class TestWorkerId:
+    def test_default_is_empty(self):
+        assert context.get_worker_id() == ""
+
+    def test_set_and_clear(self):
+        context.set_worker_id("w3")
+        assert context.get_worker_id() == "w3"
+        context.set_worker_id("")
+        assert context.get_worker_id() == ""
+
+    def test_rejects_filesystem_unsafe_ids(self):
+        with pytest.raises(ValueError, match="filesystem-safe"):
+            context.set_worker_id("a/b")
+
+
+class TestBusStamping:
+    def test_events_carry_worker_and_trace_identity(self):
+        from ._golden import make_bus
+
+        bus = make_bus()
+        ctx = context.start_trace()
+        context.set_worker_id("w0")
+        try:
+            with context.use_context(ctx):
+                event = bus.publish("metric", "m", value=1.0)
+        finally:
+            context.set_worker_id("")
+        assert event.worker == "w0"
+        assert event.trace_id == ctx.trace_id
+        assert event.span_id == ctx.span_id
+        assert event.parent_id == ctx.parent_id
+
+    def test_events_outside_any_trace_have_none_ids(self):
+        from ._golden import make_bus
+
+        event = make_bus().publish("metric", "m", value=1.0)
+        assert event.worker == ""
+        assert event.trace_id is None and event.span_id is None
+
+    def test_disabled_bus_publishes_nothing_even_in_a_trace(self):
+        from repro.observability.bus import TelemetryBus
+
+        bus = TelemetryBus(enabled=False)
+        with context.use_context(context.start_trace()):
+            assert bus.publish("metric", "m", value=1.0) is None
+
+
+class TestTracerIntegration:
+    def test_span_parents_to_ambient_context(self):
+        seen = []
+        with obs.telemetry():
+            obs.BUS.subscribe(seen.append)
+            try:
+                root = context.start_trace()
+                with context.use_context(root):
+                    with obs.TRACER.span("outer"):
+                        with obs.TRACER.span("inner"):
+                            pass
+            finally:
+                obs.BUS.unsubscribe(seen.append)
+        spans = {e.name: e for e in seen if e.kind == "span"}
+        outer, inner = spans["outer"], spans["inner"]
+        assert outer.trace_id == inner.trace_id == root.trace_id
+        assert outer.parent_id == root.span_id
+        assert inner.parent_id == outer.span_id
+
+    def test_span_with_explicit_ctx_crosses_process_boundary_shape(self):
+        """A worker extracts the carrier and its spans parent remotely."""
+        seen = []
+        root = context.start_trace()
+        carrier = context.inject(root)
+        with obs.telemetry():
+            obs.BUS.subscribe(seen.append)
+            try:
+                remote = context.extract(carrier)
+                with context.use_context(remote):
+                    with obs.TRACER.span("worker/op"):
+                        pass
+            finally:
+                obs.BUS.unsubscribe(seen.append)
+        span = next(e for e in seen if e.kind == "span")
+        assert span.trace_id == root.trace_id
+        assert span.parent_id == root.span_id

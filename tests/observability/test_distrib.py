@@ -1,0 +1,408 @@
+"""Tests for distributed telemetry (repro.observability.distrib).
+
+The fleet aggregator's central claim - fleet percentiles from K worker
+shards are *identical* to the single-process sketch of the same request
+stream - rests on the exact pointwise sketch merge proved in
+``test_slo.py``; the hypothesis test here closes the loop through real
+shard files for random splits.
+"""
+
+import json
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability.bus import JsonlEventLog, read_jsonl_header
+from repro.observability.distrib import (
+    DEFAULT_HEARTBEAT_INTERVAL_S,
+    FLEET_SCHEMA_VERSION,
+    FleetReport,
+    ShardWriter,
+    aggregate_shards,
+    discover_shards,
+)
+from repro.observability.sketch import QuantileSketch
+
+from . import _golden
+
+
+def _shard_path(tmp_path, worker_id):
+    return str(tmp_path / f"events-{worker_id}.jsonl")
+
+
+class TestShardWriter:
+    def test_shard_file_named_after_worker_with_header(self, tmp_path):
+        bus = _golden.make_bus()
+        with ShardWriter(str(tmp_path), worker_id="w7", bus=bus):
+            bus.publish("stage", "x")
+        header = read_jsonl_header(_shard_path(tmp_path, "w7"))
+        assert header["worker"] == "w7"
+        assert header["epoch_unix"] == _golden.FAKE_EPOCH_UNIX
+
+    def test_requests_fold_into_local_sketch(self, tmp_path):
+        bus = _golden.make_bus()
+        with ShardWriter(str(tmp_path), worker_id="w0", bus=bus) as writer:
+            bus.publish("request", "sched/request", value=0.002, count=3)
+            bus.publish("request", "sched/request", value=0.004, count=1)
+            assert writer.sketch().count == 4
+
+    def test_heartbeat_event_carries_interval_and_final_flag(self, tmp_path):
+        bus = _golden.make_bus()
+        writer = ShardWriter(str(tmp_path), worker_id="w0", bus=bus,
+                             heartbeat_interval_s=0.5)
+        writer.heartbeat()
+        writer.close()  # emits the final=True beacon
+        events = [e for e in _read_events(_shard_path(tmp_path, "w0"))
+                  if e["kind"] == "heartbeat"]
+        assert len(events) == 2
+        assert events[0]["fields"] == {"final": False, "interval_s": 0.5}
+        assert events[-1]["fields"]["final"] is True
+
+    def test_close_snapshots_serialized_sketch_state(self, tmp_path):
+        bus = _golden.make_bus()
+        with ShardWriter(str(tmp_path), worker_id="w0", bus=bus):
+            bus.publish("request", "sched/request", value=0.002, count=5)
+        snaps = [e for e in _read_events(_shard_path(tmp_path, "w0"))
+                 if e["kind"] == "snapshot" and e["name"] == "worker/sketch/latency"]
+        assert snaps, "close() must leave a final sketch snapshot"
+        rebuilt = QuantileSketch.from_state(snaps[-1]["fields"]["state"])
+        assert rebuilt.count == 5
+
+    def test_close_is_idempotent(self, tmp_path):
+        bus = _golden.make_bus()
+        writer = ShardWriter(str(tmp_path), worker_id="w0", bus=bus)
+        writer.close()
+        writer.close()
+        hb = [e for e in _read_events(_shard_path(tmp_path, "w0"))
+              if e["kind"] == "heartbeat"]
+        assert len(hb) == 1
+
+
+def _read_events(path):
+    from repro.observability.bus import read_jsonl_events
+
+    return read_jsonl_events(path)
+
+
+def _write_shard(tmp_path, worker_id, epoch, publishes):
+    """A shard from explicit (kind, name, value, fields) publishes."""
+    bus = _golden.make_bus(epoch_unix=epoch)
+    path = _shard_path(tmp_path, worker_id)
+    with JsonlEventLog(path, bus=bus, worker=worker_id):
+        for kind, name, value, fields in publishes:
+            bus.publish(kind, name, value=value, **fields)
+    return path
+
+
+class TestAggregateShards:
+    def test_timeline_is_resequenced_on_the_global_clock(self, tmp_path):
+        # w0's epoch is 1s earlier: its events must sort first even though
+        # both shards have identical local t_s values.
+        a = _write_shard(tmp_path, "w0", _golden.FAKE_EPOCH_UNIX,
+                         [("stage", "a0", None, {}), ("stage", "a1", None, {})])
+        b = _write_shard(tmp_path, "w1", _golden.FAKE_EPOCH_UNIX + 1.0,
+                         [("stage", "b0", None, {}), ("stage", "b1", None, {})])
+        report = aggregate_shards([b, a])
+        assert [e.name for e in report.events] == ["a0", "a1", "b0", "b1"]
+        assert [e.seq for e in report.events] == [0, 1, 2, 3]
+        # local t_s 0.5/1.0; w1 shifted by its +1s epoch, rebased to w0's
+        assert [e.t_s for e in report.events] == [0.5, 1.0, 1.5, 2.0]
+        assert [e.worker for e in report.events] == ["w0", "w0", "w1", "w1"]
+        assert report.elapsed_s == 2.0
+
+    def test_fleet_sketch_is_exact_merge_of_worker_requests(self, tmp_path):
+        a = _write_shard(tmp_path, "w0", _golden.FAKE_EPOCH_UNIX,
+                         [("request", "r", 0.002, {"count": 3})])
+        b = _write_shard(tmp_path, "w1", _golden.FAKE_EPOCH_UNIX,
+                         [("request", "r", 0.008, {"count": 1})])
+        report = aggregate_shards([a, b])
+        single = QuantileSketch()
+        single.add(0.002, count=3)
+        single.add(0.008)
+        assert report.sketch.count == single.count == 4
+        assert report.sketch.to_state()["buckets"] == single.to_state()["buckets"]
+
+    def test_counter_banks_union_across_workers(self, tmp_path):
+        a = _write_shard(tmp_path, "w0", _golden.FAKE_EPOCH_UNIX,
+                         [("counter", "xpu/stage/rotation", 100.0,
+                           {"unit": "cycles"}),
+                          ("counter", "hbm/channel/0", 64.0, {"unit": "bytes"})])
+        b = _write_shard(tmp_path, "w1", _golden.FAKE_EPOCH_UNIX,
+                         [("counter", "xpu/stage/rotation", 50.0,
+                           {"unit": "cycles"})])
+        report = aggregate_shards([a, b])
+        assert report.counters["cycles"] == {"xpu/stage/rotation": 150.0}
+        assert report.counters["bytes"] == {"hbm/channel/0": 64.0}
+
+    def test_snapshot_states_merge_exactly(self, tmp_path):
+        for i, value in enumerate((0.002, 0.004)):
+            bus = _golden.make_bus(epoch_unix=_golden.FAKE_EPOCH_UNIX)
+            with ShardWriter(str(tmp_path), worker_id=f"w{i}", bus=bus):
+                bus.publish("request", "r", value=value, count=2)
+        report = aggregate_shards(discover_shards(str(tmp_path)))
+        assert report.snapshot_sketch is not None
+        assert report.snapshot_sketch.count == 4
+        assert (report.snapshot_sketch.to_state()["buckets"]
+                == report.sketch.to_state()["buckets"])
+
+    def test_worker_rows_summarize_each_shard(self, tmp_path):
+        bus = _golden.make_bus()
+        with ShardWriter(str(tmp_path), worker_id="w0", bus=bus):
+            bus.publish("request", "r", value=0.002, count=4)
+            bus.publish("batch", "machine/bootstrap_batch", value=8.0)
+        report = aggregate_shards(discover_shards(str(tmp_path)))
+        row = report.workers["w0"]
+        assert row["requests"] == 4
+        assert row["bootstraps"] == 8.0
+        assert row["heartbeats"] == 1  # close() beacon
+        assert row["final_heartbeat"] is True
+        assert "w0" not in report.lost_workers
+
+    def test_empty_path_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            aggregate_shards([])
+
+    def test_file_without_header_rejected(self, tmp_path):
+        path = str(tmp_path / "events-bad.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"v": 2, "kind": "stage", "name": "x"}\n')
+        with pytest.raises(ValueError, match="no jsonl_header"):
+            aggregate_shards([path])
+
+    def test_unsupported_schema_version_rejected(self, tmp_path):
+        path = str(tmp_path / "events-w9.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"v": 99, "kind": "jsonl_header", "worker": "w9"}\n')
+        with pytest.raises(ValueError, match="schema version 99"):
+            aggregate_shards([path])
+
+
+def _write_v1_shard(tmp_path, name="events-old.jsonl"):
+    """A pre-distributed-telemetry shard: v1 header, v1 event rows."""
+    path = str(tmp_path / name)
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"v": 1, "kind": "jsonl_header",
+                             "producer": "repro.observability.bus"}) + "\n")
+        fh.write(json.dumps({"v": 1, "seq": 0, "t_s": 0.5, "kind": "request",
+                             "name": "sched/request", "value": 0.002,
+                             "fields": {"count": 2}}) + "\n")
+    return path
+
+
+class TestSchemaCompat:
+    def test_v1_only_shards_still_aggregate(self, tmp_path):
+        report = aggregate_shards([_write_v1_shard(tmp_path)])
+        assert report.event_schema_version == 1
+        assert report.sketch.count == 2
+        # v1 rows have no worker column: identity falls back to the file
+        assert list(report.workers) == ["events-old.jsonl"]
+
+    def test_mixed_schema_versions_rejected_with_both_named(self, tmp_path):
+        old = _write_v1_shard(tmp_path)
+        new = _write_shard(tmp_path, "w0", _golden.FAKE_EPOCH_UNIX,
+                           [("stage", "x", None, {})])
+        with pytest.raises(ValueError) as err:
+            aggregate_shards([old, new])
+        message = str(err.value)
+        assert "mixed event schema versions" in message
+        assert "v1: events-old.jsonl" in message
+        assert "v2: events-w0.jsonl" in message
+
+
+class TestCrashTolerance:
+    def test_truncated_final_line_dropped_when_tolerant(self, tmp_path):
+        path = _write_shard(tmp_path, "w0", _golden.FAKE_EPOCH_UNIX,
+                            [("stage", "ok", None, {})])
+        with open(path, "a") as fh:
+            fh.write('{"v": 2, "seq": 9, "t_')  # SIGKILL mid-write
+        report = aggregate_shards([path])  # tolerant by default
+        assert [e.name for e in report.events] == ["ok"]
+        with pytest.raises(json.JSONDecodeError):
+            aggregate_shards([path], tolerant=False)
+
+
+class TestDeadWorkerDetection:
+    def _lossy_fleet(self, tmp_path, dump_dir=None, miss_factor=3.0):
+        # w1 beacons once (non-final) then goes silent at global t=0.5;
+        # the driver keeps publishing until t=5.0, so the fleet timeline
+        # extends 4.5s past w1's beacon - far over 3 * 0.25s.
+        _write_shard(
+            tmp_path, "w1", _golden.FAKE_EPOCH_UNIX,
+            [("heartbeat", "worker/w1", 0.0,
+              {"interval_s": 0.25, "final": False}),
+             ("span", "w1/round0", 12.5, {"ts_us": 0.0, "dur_us": 12.5})])
+        _write_shard(
+            tmp_path, "driver", _golden.FAKE_EPOCH_UNIX,
+            [("stage", f"tick{i}", None, {}) for i in range(10)])
+        return aggregate_shards(discover_shards(str(tmp_path)),
+                                miss_factor=miss_factor, dump_dir=dump_dir)
+
+    def test_silent_worker_declared_lost_with_evidence_bundle(self, tmp_path):
+        report = self._lossy_fleet(tmp_path)
+        assert report.lost_workers == ["w1"]
+        assert "driver" not in report.lost_workers
+        bundle = report.lost_bundles[0]
+        assert bundle["kind"] == "flight_bundle"
+        assert bundle["trigger"]["reason"] == "worker_lost"
+        assert bundle["trigger"]["fields"]["worker"] == "w1"
+        assert bundle["trigger"]["fields"]["last_heartbeat_t"] == 0.5
+        assert {e["name"] for e in bundle["events"]} == {"worker/w1", "w1/round0"}
+        assert "!! worker_lost: w1" in report.render_text()
+
+    def test_dump_dir_receives_loadable_evidence(self, tmp_path):
+        dump = tmp_path / "dumps"
+        self._lossy_fleet(tmp_path, dump_dir=str(dump))
+        path = dump / "fleet-worker-lost-w1.json"
+        with open(path) as fh:
+            bundle = json.load(fh)
+        from repro.observability.flightrec import BUNDLE_SCHEMA_VERSION
+
+        assert bundle["schema_version"] == BUNDLE_SCHEMA_VERSION
+
+    def test_generous_miss_factor_keeps_worker_alive(self, tmp_path):
+        report = self._lossy_fleet(tmp_path, miss_factor=100.0)
+        assert report.lost_workers == []
+
+    def test_worker_with_final_heartbeat_is_never_lost(self, tmp_path):
+        _write_shard(
+            tmp_path, "w1", _golden.FAKE_EPOCH_UNIX,
+            [("heartbeat", "worker/w1", 0.0,
+              {"interval_s": 0.25, "final": True})])
+        _write_shard(
+            tmp_path, "driver", _golden.FAKE_EPOCH_UNIX,
+            [("stage", f"tick{i}", None, {}) for i in range(10)])
+        report = aggregate_shards(discover_shards(str(tmp_path)))
+        assert report.lost_workers == []
+
+
+class TestFleetReportViews:
+    def test_to_bundle_is_flight_bundle_shaped(self, tmp_path):
+        _golden.build_fleet_shards(str(tmp_path))
+        report = _golden.build_fleet_report(str(tmp_path))
+        bundle = report.to_bundle()
+        assert bundle["kind"] == "flight_bundle"
+        assert bundle["trigger"]["reason"] == "fleet_aggregate"
+        assert bundle["counts"]["request"] == 8
+        assert len(bundle["events"]) == len(report.events)
+        # renders through the standard chrome-trace exporter
+        from repro.observability.export import flight_trace_events
+
+        assert flight_trace_events(bundle)
+
+    def test_render_text_has_one_row_per_worker(self, tmp_path):
+        _golden.build_fleet_shards(str(tmp_path))
+        text = _golden.build_fleet_report(str(tmp_path)).render_text()
+        assert "w0" in text and "w1" in text
+        assert "latency (fleet" in text
+
+
+class TestGoldenFleetReport:
+    def test_report_json_matches_golden_byte_for_byte(self, tmp_path):
+        """The fleet-report JSON is a schema: changing field order, names,
+        or serialization requires a FLEET_SCHEMA_VERSION bump and
+        regenerated goldens (tests/observability/_golden.py)."""
+        _golden.build_fleet_shards(str(tmp_path))
+        report = _golden.build_fleet_report(str(tmp_path))
+        assert report.to_jsonable()["v"] == FLEET_SCHEMA_VERSION
+        got = json.dumps(report.to_jsonable(), indent=1) + "\n"
+        with open(_golden.GOLDEN_FLEET) as fh:
+            assert got == fh.read()
+
+
+class TestFleetPercentileProperty:
+    """Acceptance: fleet percentiles from K shards equal the
+    single-process sketch for random splits of the request stream.
+
+    The merge is *exact* (pointwise bucket addition, proved in
+    test_slo.py), so equality here is bucket-for-bucket - strictly
+    stronger than the relative-error bound the acceptance asks for.
+    """
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-6, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=50),
+        data=st.data(),
+    )
+    def test_random_k_way_split_merges_to_single_sketch(self, values, data):
+        k = data.draw(st.integers(min_value=2, max_value=4), label="k")
+        assignment = data.draw(
+            st.lists(st.integers(0, k - 1), min_size=len(values),
+                     max_size=len(values)),
+            label="assignment")
+        with tempfile.TemporaryDirectory() as tmp:
+            for w in range(k):
+                bus = _golden.make_bus(
+                    epoch_unix=_golden.FAKE_EPOCH_UNIX + float(w))
+                path = os.path.join(tmp, f"events-w{w}.jsonl")
+                with JsonlEventLog(path, bus=bus, worker=f"w{w}"):
+                    for value, owner in zip(values, assignment):
+                        if owner == w:
+                            bus.publish("request", "sched/request",
+                                        value=value, count=1)
+            report = aggregate_shards(discover_shards(tmp))
+        single = QuantileSketch()
+        for value in values:
+            single.add(value)
+        assert report.sketch.count == single.count == len(values)
+        assert report.sketch.to_state()["buckets"] == single.to_state()["buckets"]
+        qs = (0.5, 0.95, 0.99)
+        fleet_q = report.sketch.quantiles(qs)
+        single_q = single.quantiles(qs)
+        for q in qs:
+            assert fleet_q[q] == pytest.approx(single_q[q], rel=1e-12)
+
+
+class TestForkSafetyHelpers:
+    def test_reset_in_child_clears_identity_and_subscribers(self):
+        from repro import observability as obs
+        from repro.observability import context
+        from repro.observability.distrib import _reset_in_child
+
+        seen = []
+        obs.BUS.subscribe(seen.append)
+        context.set_worker_id("parent")
+        try:
+            _reset_in_child()
+            # parent subscribers dropped; only the re-attached flight
+            # recorder remains wired
+            assert obs.BUS.subscriber_count == 1
+            assert context.get_worker_id() == ""
+            assert not obs.BUS.enabled
+        finally:
+            context.set_worker_id("")
+
+    def test_worker_telemetry_lifecycle(self, tmp_path):
+        from repro import observability as obs
+        from repro.observability import context
+        from repro.observability.distrib import worker_telemetry
+
+        root = context.start_trace()
+        carrier = context.inject(root)
+        with worker_telemetry("w0", str(tmp_path), carrier=carrier,
+                              heartbeat_interval_s=60.0) as writer:
+            assert context.get_worker_id() == "w0"
+            assert obs.BUS.enabled
+            assert context.current().trace_id == root.trace_id
+            obs.BUS.publish("stage", "inside")
+            assert writer.worker_id == "w0"
+        assert context.get_worker_id() == ""
+        assert not obs.BUS.enabled
+        assert context.current() is None
+        events = _read_events(str(tmp_path / "events-w0.jsonl"))
+        names = [e["name"] for e in events]
+        assert "inside" in names
+        assert events[-1]["kind"] == "heartbeat"
+        assert events[-1]["fields"]["final"] is True
+
+    def test_empty_fleet_report_renders(self):
+        report = FleetReport(event_schema_version=2)
+        assert "0 workers" in report.render_text()
+        assert report.to_jsonable()["events_total"] == 0
+        assert report.quantiles()[0.5] is None
+        assert DEFAULT_HEARTBEAT_INTERVAL_S > 0

@@ -1,0 +1,144 @@
+"""End-to-end acceptance for distributed telemetry.
+
+Real ``multiprocessing`` workers run the batched-bootstrap pipeline
+(``repro.apps.fleet_demo``), write per-process shards, and the driver
+aggregates them.  The three acceptance criteria:
+
+(a) fleet p50/p95/p99 from the shards are identical to a single sketch
+    folded from the merged request stream (exact pointwise merge);
+(b) the fleet forms one causally-linked trace - every child span's
+    ``parent_id`` resolves across process boundaries, and the merged
+    timeline renders through the chrome-trace exporter;
+(c) SIGKILLing a worker mid-run yields a ``worker_lost`` verdict with a
+    flight-bundle of the dead worker's trailing events.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.observability.export import flight_trace_events
+from repro.observability.sketch import QuantileSketch
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="fleet demo needs fork workers"
+)
+
+WORKERS = 3
+ROUNDS = 2
+BATCH = 4
+
+
+@pytest.fixture(scope="module")
+def clean_fleet(tmp_path_factory):
+    from repro.apps.fleet_demo import run_fleet
+
+    out = str(tmp_path_factory.mktemp("fleet-clean"))
+    return run_fleet(workers=WORKERS, rounds=ROUNDS, batch=BATCH, out=out)
+
+
+@pytest.fixture(scope="module")
+def killed_fleet(tmp_path_factory):
+    from repro.apps.fleet_demo import run_fleet
+
+    out = str(tmp_path_factory.mktemp("fleet-kill"))
+    dump = str(tmp_path_factory.mktemp("fleet-kill-dumps"))
+    report = run_fleet(workers=WORKERS, rounds=ROUNDS, batch=BATCH,
+                       out=out, kill=1, dump_dir=dump)
+    return report, dump
+
+
+class TestCleanFleet:
+    def test_every_worker_reports_in_and_none_are_lost(self, clean_fleet):
+        ids = set(clean_fleet.workers)
+        assert {f"w{i}" for i in range(WORKERS)} <= ids
+        assert "driver" in ids
+        assert clean_fleet.lost_workers == []
+        for i in range(WORKERS):
+            assert clean_fleet.workers[f"w{i}"]["final_heartbeat"] is True
+
+    def test_fleet_percentiles_equal_merged_request_stream(self, clean_fleet):
+        """Acceptance (a): re-fold every request event of the merged
+        timeline into one sketch; the fleet sketch must match it
+        bucket-for-bucket, hence p50/p95/p99 exactly."""
+        single = QuantileSketch()
+        for event in clean_fleet.events:
+            if event.kind == "request" and event.value is not None:
+                single.add(event.value, count=int(event.fields.get("count", 1)))
+        assert single.count == WORKERS * ROUNDS * BATCH
+        assert clean_fleet.sketch.count == single.count
+        assert (clean_fleet.sketch.to_state()["buckets"]
+                == single.to_state()["buckets"])
+        qs = (0.5, 0.95, 0.99)
+        fleet_q = clean_fleet.quantiles(qs)
+        single_q = single.quantiles(qs)
+        for q in qs:
+            assert fleet_q[q] == pytest.approx(single_q[q], rel=1e-12)
+
+    def test_single_causally_linked_trace_across_processes(self, clean_fleet):
+        """Acceptance (b): one trace id fleet-wide; every child span's
+        parent_id resolves to another span recorded somewhere in the
+        fleet - the driver's root included."""
+        spans = [e for e in clean_fleet.events
+                 if e.kind == "span" and e.trace_id is not None]
+        assert spans
+        assert len({s.trace_id for s in spans}) == 1
+        span_ids = {s.span_id for s in spans}
+        roots = [s for s in spans if s.parent_id is None]
+        assert [s.name for s in roots] == ["fleet/submit"]
+        for span in spans:
+            if span.parent_id is not None:
+                assert span.parent_id in span_ids, (
+                    f"{span.name} (worker {span.worker!r}) has dangling "
+                    f"parent {span.parent_id}"
+                )
+        # the cross-process edges exist: worker round spans parent
+        # directly to the driver's submitting span
+        root_id = roots[0].span_id
+        round_spans = [s for s in spans if "/round" in s.name]
+        assert {s.worker for s in round_spans} == {f"w{i}" for i in range(WORKERS)}
+        assert all(s.parent_id == root_id for s in round_spans)
+
+    def test_merged_timeline_renders_as_chrome_trace(self, clean_fleet):
+        trace = flight_trace_events(clean_fleet.to_bundle())
+        span_rows = [t for t in trace if t.get("ph") == "X"]
+        assert span_rows
+        traced = [t for t in span_rows if "trace_id" in t.get("args", {})]
+        assert traced, "chrome trace lost the distributed-trace identity"
+        assert {t["args"].get("worker") for t in traced} >= {"w0"}
+
+    def test_timeline_is_resequenced_and_monotonic(self, clean_fleet):
+        seqs = [e.seq for e in clean_fleet.events]
+        assert seqs == list(range(len(clean_fleet.events)))
+        ts = [e.t_s for e in clean_fleet.events]
+        assert ts == sorted(ts)
+        assert ts[0] >= 0.0
+
+
+class TestKilledFleet:
+    def test_sigkilled_worker_declared_lost(self, killed_fleet):
+        report, _ = killed_fleet
+        assert report.lost_workers == ["w1"]
+        assert report.workers["w1"]["final_heartbeat"] is False
+        assert report.workers["w1"]["heartbeats"] > 0
+
+    def test_evidence_bundle_dumped_and_loadable(self, killed_fleet):
+        """Acceptance (c): the worker_lost flight bundle lands on disk
+        with the dead worker's trailing events."""
+        report, dump = killed_fleet
+        path = os.path.join(dump, "fleet-worker-lost-w1.json")
+        with open(path) as fh:
+            bundle = json.load(fh)
+        assert bundle["kind"] == "flight_bundle"
+        assert bundle["trigger"]["reason"] == "worker_lost"
+        assert bundle["trigger"]["fields"]["worker"] == "w1"
+        assert bundle["events"], "evidence bundle carried no trailing events"
+        assert all(e["worker"] == "w1" for e in bundle["events"])
+        assert bundle == report.lost_bundles[0]
+
+    def test_surviving_workers_still_report_cleanly(self, killed_fleet):
+        report, _ = killed_fleet
+        for worker_id in ("w0", "w2", "driver"):
+            assert worker_id not in report.lost_workers
+            assert report.workers[worker_id]["final_heartbeat"] is True
