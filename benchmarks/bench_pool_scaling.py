@@ -1,0 +1,76 @@
+"""Multi-worker pool scaling bench (``repro.pool``).
+
+Measures sharded batch-16 bootstrap throughput at 1/2/4 workers against
+the single-process baseline, using the real :class:`BootstrapPool`
+(shared-memory BSK spectrum, forked lanes, ordered reassembly).
+
+Two modes, so the committed scaling floors are enforced exactly where
+they are meaningful:
+
+- **enforcing** (default, the bench machine): with >= 4 CPUs the
+  2-worker and 4-worker scaling ratios must meet ``SCALING_FLOORS`` and
+  are recorded as ``scaling_workers<N>`` for the baseline checker
+  (which treats ``scaling_*`` as conditional floors);
+- **informational** (``REPRO_BENCH_INFORMATIONAL=1``, or machines with
+  fewer CPUs than a row's worker count): throughput is still recorded
+  (``workers<N>_bootstraps_per_s`` are ``_per_s`` trend metrics) but
+  the unenforceable ``scaling_*`` values are recorded as ``null`` so
+  the checker reports a note instead of a bogus violation.
+
+The CI ``pool-scaling`` job runs this in informational mode (shared
+runners make no scaling promises); the committed floors in
+``baselines/BENCH_tfhe.json`` bind on the bench machine.
+"""
+
+import os
+
+from repro.pool import leaked_segments, run_pool_scaling
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: Minimum scaling ratio (pool throughput / single-process throughput)
+#: per worker count, enforced when the machine can parallelize.
+SCALING_FLOORS = {2: 1.5, 4: 2.5}
+
+
+def _informational() -> bool:
+    return os.environ.get("REPRO_BENCH_INFORMATIONAL", "") not in ("", "0")
+
+
+def test_pool_scaling_throughput(bench_record):
+    """1/2/4-worker sharded batch-16 throughput, floors where enforceable."""
+    result = run_pool_scaling(
+        param_set="test", workers=WORKER_COUNTS, batch=16, rounds=3,
+    )
+    assert leaked_segments() == [], "pool leaked shared-memory segments"
+
+    cpus = os.cpu_count() or 1
+    informational = _informational()
+    metrics = {
+        "backend": result.backend,
+        "pool_batch": result.batch,
+        "single_bootstraps_per_s": round(result.single_bootstraps_per_s, 2),
+    }
+    for entry in result.entries:
+        n = entry["workers"]
+        scaling = entry["scaling"]
+        metrics[f"workers{n}_bootstraps_per_s"] = round(
+            entry["bootstraps_per_s"], 2
+        )
+        enforceable = (not informational) and cpus >= n
+        floor = SCALING_FLOORS.get(n)
+        if floor is not None:
+            # Only floored counts get a scaling_* metric: a floorless
+            # measured ratio in the baseline would act as an accidental
+            # floor on the bench machine.
+            metrics[f"scaling_workers{n}"] = (
+                round(scaling, 2) if enforceable else None
+            )
+        if enforceable and floor is not None:
+            assert scaling >= floor, (
+                f"{n}-worker pool only {scaling:.2f}x the single process "
+                f"({entry['bootstraps_per_s']:.1f} vs "
+                f"{result.single_bootstraps_per_s:.1f} bootstraps/s) - "
+                f"floor is {floor}x"
+            )
+    bench_record("tfhe_pool@test", **metrics)

@@ -319,6 +319,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "Chrome/Perfetto trace-event JSON file")
     fleet.add_argument("--json", action="store_true",
                        help="print the schema-versioned fleet report as JSON")
+
+    pool = sub.add_parser(
+        "pool",
+        help="run a sharded bootstrap workload and print the scaling table",
+    )
+    pool.add_argument("--set", default="test", dest="param_set",
+                      help="parameter set name ('test' or a shipped set)")
+    pool.add_argument("--workers", default="1,2,4", metavar="N[,N...]",
+                      help="comma-separated pool widths to sweep")
+    pool.add_argument("--batch", type=int, default=16,
+                      help="ciphertexts per sharded batch")
+    pool.add_argument("--rounds", type=int, default=3,
+                      help="timing repetitions (best-of)")
+    pool.add_argument("--backend", default=None,
+                      help="compute backend (default: $REPRO_BACKEND or "
+                           "numpy; unknown names list the available ones)")
+    pool.add_argument("--precision", default="double",
+                      choices=["double", "single"],
+                      help="BSK spectrum table precision")
+    pool.add_argument("--seed", type=int, default=3)
+    pool.add_argument("--telemetry", metavar="DIR", default=None,
+                      help="write per-width fleet telemetry shards under "
+                           "DIR/workers<N>/ (aggregate with 'repro fleet')")
+    pool.add_argument("--json", action="store_true",
+                      help="print the scaling result as JSON")
     return parser
 
 
@@ -953,6 +978,37 @@ def _cmd_fleet(args) -> int:
     return 1 if report.lost_workers else 0
 
 
+def _cmd_pool(args) -> int:
+    from .pool.scaling import run_pool_scaling
+
+    try:
+        workers = [int(w) for w in str(args.workers).split(",") if w.strip()]
+    except ValueError:
+        print(f"invalid --workers list: {args.workers!r}", file=sys.stderr)
+        return 2
+    if not workers or any(w < 1 for w in workers):
+        print(f"--workers needs positive integers, got {args.workers!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        result = run_pool_scaling(
+            param_set=args.param_set, workers=workers, batch=args.batch,
+            rounds=args.rounds, backend=args.backend,
+            precision=args.precision, seed=args.seed,
+            telemetry_dir=args.telemetry,
+        )
+    except ValueError as exc:  # unknown backend / parameter set
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        _print_json(result.to_jsonable())
+    else:
+        print(result.render_text())
+        if args.telemetry:
+            print(f"fleet telemetry shards under {args.telemetry}/workers<N>/")
+    return 0
+
+
 def _log2(value: float) -> float:
     import math
 
@@ -987,6 +1043,7 @@ _COMMANDS = {
     "record": _cmd_record,
     "replay": _cmd_replay,
     "fleet": _cmd_fleet,
+    "pool": _cmd_pool,
 }
 
 

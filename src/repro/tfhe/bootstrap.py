@@ -38,6 +38,7 @@ from ..observability import (
     TRACER as _TRACER,
     report_anomaly as _report_anomaly,
 )
+from ..transforms.backends import active_backend_name as _active_backend_name
 from .decomposition import decompose
 from .ggsw import cmux, external_product_spectrum_batch
 from .glwe import GlweCiphertext, glwe_rotate, glwe_trivial, sample_extract, sample_extract_batch
@@ -354,7 +355,7 @@ def programmable_bootstrap(
         if _BUS.enabled:
             _BUS.publish("request", "tfhe/bootstrap", value=elapsed,
                          count=1, batch=1, n=params.n, N=params.N,
-                         engine=engine)
+                         engine=engine, backend=_active_backend_name())
     if _NOISE.enabled:
         _track_bootstrap(result, ct, test_poly, keyset, "programmable_bootstrap")
     return result
@@ -414,10 +415,11 @@ def programmable_bootstrap_batch(
         if _BUS.enabled:
             _BUS.publish("request", "tfhe/bootstrap_batch", value=elapsed,
                          count=batch, batch=batch, n=params.n, N=params.N,
-                         precision=precision)
+                         precision=precision, backend=_active_backend_name())
     if _BUS.enabled:
         _BUS.publish("batch", "tfhe/bootstrap_batch", value=float(batch),
-                     n=params.n, N=params.N, precision=precision)
+                     n=params.n, N=params.N, precision=precision,
+                     backend=_active_backend_name())
     results = [LweCiphertext(out_a[r], out_b[r]) for r in range(batch)]
     if _NOISE.enabled:
         tp_rows = np.broadcast_to(tps, (batch, params.N))

@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..transforms.backends import active_backend
 from ..transforms.negacyclic import negacyclic_fft
 from .decomposition import decompose
 from .glwe import GlweCiphertext, GlweSecretKey, glwe_encrypt
@@ -170,8 +171,11 @@ def external_product_spectrum_batch(
     # repro: allow[RPR002] declared FFT boundary: decomposed digits are small signed ints
     digit_spec = negacyclic_fft(digits.astype(real_dtype))  # (B, k+1, l_b, N/2)
     rows = row_spec.reshape(kp1, l_b, kp1, n // 2)
-    acc_spec = np.einsum(
-        "aijf,ijcf->acf", digit_spec, rows, optimize=False
+    # The VPE pointwise MACs, dispatched through the active compute
+    # backend; the base implementation keeps numpy's fixed reduction
+    # order so results stay bit-stable across backends.
+    acc_spec = active_backend().einsum(
+        "aijf,ijcf->acf", digit_spec, rows
     )  # (B, k+1, N/2)
     return from_spectrum(acc_spec, n)
 

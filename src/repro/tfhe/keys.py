@@ -130,6 +130,49 @@ class KeySet:
             self._bsk_tables[precision] = table
         return table
 
+    def adopt_spectrum_table(self, table: np.ndarray, precision: str = "double") -> np.ndarray:
+        """Install an externally computed BSK spectrum table into the cache.
+
+        This is how pool workers map the driver's shared-memory table
+        zero-copy instead of re-running the FFT-heavy pre-transform:
+        after :meth:`adopt_spectrum_table`, :meth:`bsk_spectrum_table`
+        returns ``table`` directly.  Shape and dtype are validated
+        against ``params`` so a mismatched segment fails loudly.
+        """
+        if precision not in ("double", "single"):
+            raise ValueError(
+                f"precision must be 'double' or 'single', got {precision!r}"
+            )
+        p = self.params
+        expected_shape = (p.n, (p.k + 1) * p.l_b, p.k + 1, p.N // 2)
+        expected_dtype = np.complex128 if precision == "double" else np.complex64
+        table = np.asarray(table)
+        if table.shape != expected_shape:
+            raise ValueError(
+                f"spectrum table shape {table.shape} != expected {expected_shape}"
+            )
+        if table.dtype != np.dtype(expected_dtype):
+            raise ValueError(
+                f"spectrum table dtype {table.dtype} != expected "
+                f"{np.dtype(expected_dtype)} for precision {precision!r}"
+            )
+        self._bsk_tables[precision] = table
+        return table
+
+    def drop_spectrum_cache(self) -> None:
+        """Release every cached transform-domain image.
+
+        Clears the eager per-precision tables *and* the lazy per-GGSW
+        spectra, so the next :meth:`bsk_spectrum_table` /
+        :meth:`bsk_spectra` call recomputes from the coefficient-domain
+        BSK.  Pool workers call this right after fork, before mapping
+        the shared segment, so the only transform-domain image a worker
+        holds is the shared one.
+        """
+        self._bsk_tables.clear()
+        for g in self.bsk:
+            g._spectrum = None
+
 
 def generate_keyset(params: TFHEParams, rng: np.random.Generator) -> KeySet:
     """Generate the full TFHE key material for ``params``.

@@ -6,6 +6,18 @@ back the TFHE scheme substrate; the pipelined hardware model
 (:mod:`~repro.transforms.pipeline_model`) backs the cycle simulator.
 """
 
+from .backends import (
+    ComputeBackend,
+    active_backend,
+    active_backend_name,
+    available_backends,
+    get_backend,
+    register_backend,
+    registered_backends,
+    reset_backend,
+    set_backend,
+    use_backend,
+)
 from .fft import (
     bit_reverse_permutation,
     fft,
@@ -39,6 +51,16 @@ from .ntt import (
 from .pipeline_model import PipelinedFFTModel
 
 __all__ = [
+    "ComputeBackend",
+    "active_backend",
+    "active_backend_name",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "reset_backend",
+    "set_backend",
+    "use_backend",
     "bit_reverse_permutation",
     "fft",
     "ifft",

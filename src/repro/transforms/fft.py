@@ -23,6 +23,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..observability import REGISTRY as _METRICS
+from .backends import active_backend as _active_backend
 
 __all__ = [
     "bit_reverse_permutation",
@@ -114,6 +115,15 @@ def _fft_core(x: np.ndarray) -> np.ndarray:
     return out
 
 
+def _ifft_core(x: np.ndarray) -> np.ndarray:
+    """Uninstrumented inverse engine: conjugate trick over :func:`_fft_core`."""
+    n = x.shape[-1]
+    out = _fft_core(np.conj(x))
+    np.conj(out, out=out)
+    out /= n
+    return out
+
+
 def _as_complex(x: np.ndarray) -> np.ndarray:
     """View/cast input as complex, preserving single precision."""
     x = np.asarray(x)
@@ -129,23 +139,27 @@ def fft(x: np.ndarray) -> np.ndarray:
     ``log2(n)`` butterfly stages.  Accepts any shape; the transform runs
     along the last axis, which must be a power of two.  ``float32`` /
     ``complex64`` inputs stay in single precision end to end.
+
+    Dispatches to the active compute backend
+    (:mod:`repro.transforms.backends`); the default ``numpy`` backend is
+    the butterfly engine in this module.  Metric counting happens here,
+    before dispatch, so every backend is accounted identically.
     """
     x = _as_complex(x)
     if _METRICS.enabled:
         _count_transforms(x.shape, "forward")
-    return _fft_core(x)
+    return _active_backend().fft(x)
 
 
 def ifft(x: np.ndarray) -> np.ndarray:
-    """Inverse FFT along the last axis (unitary pairing with :func:`fft`)."""
+    """Inverse FFT along the last axis (unitary pairing with :func:`fft`).
+
+    Dispatches to the active compute backend, like :func:`fft`.
+    """
     x = _as_complex(x)
     if _METRICS.enabled:
         _count_transforms(x.shape, "inverse")
-    n = x.shape[-1]
-    out = _fft_core(np.conj(x))
-    np.conj(out, out=out)
-    out /= n
-    return out
+    return _active_backend().ifft(x)
 
 
 # ---------------------------------------------------------------------------

@@ -544,3 +544,57 @@ class TestReplayMultiBundle:
         b = self._golden_bundle_copy(tmp_path, "b.json", version=1)
         assert main(["replay", a, b]) == 2
         assert "mixed event schema versions" in capsys.readouterr().err
+
+
+class TestPoolCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["pool"])
+        assert args.param_set == "test"
+        assert args.workers == "1,2,4"
+        assert args.batch == 16
+        assert args.backend is None
+
+    def test_pool_scaling_table(self, capsys):
+        assert main(["pool", "--workers", "1,2", "--batch", "4",
+                     "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "workers" in out
+        assert "bootstraps/s" in out
+        assert "single-process" in out
+
+    def test_pool_json(self, capsys):
+        assert main(["pool", "--workers", "1", "--batch", "4",
+                     "--rounds", "1", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["param_set"] == "test"
+        assert doc["backend"] == "numpy"
+        assert doc["batch"] == 4
+        assert [e["workers"] for e in doc["entries"]] == [1]
+        assert doc["entries"][0]["bootstraps_per_s"] > 0
+
+    def test_pool_scipy_backend_stamped(self, capsys):
+        pytest.importorskip("scipy")
+        assert main(["pool", "--workers", "1", "--batch", "4",
+                     "--rounds", "1", "--backend", "scipy", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["backend"] == "scipy"
+
+    def test_pool_unknown_backend_exit_2(self, capsys):
+        assert main(["pool", "--workers", "1", "--batch", "4",
+                     "--backend", "warp-drive"]) == 2
+        err = capsys.readouterr().err
+        assert "warp-drive" in err
+        assert "numpy" in err
+
+    def test_pool_invalid_workers_exit_2(self, capsys):
+        assert main(["pool", "--workers", "zero,none"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_pool_telemetry_feeds_fleet(self, capsys, tmp_path):
+        tdir = tmp_path / "pool-telemetry"
+        assert main(["pool", "--workers", "2", "--batch", "4",
+                     "--rounds", "1", "--telemetry", str(tdir)]) == 0
+        capsys.readouterr()
+        assert main(["fleet", str(tdir / "workers2"), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        workers = {w["worker"] for w in doc["workers"]}
+        assert {"driver", "w0", "w1"} <= workers

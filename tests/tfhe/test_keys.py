@@ -30,6 +30,34 @@ class TestKeySetStructure:
         assert spectra[0] is keyset.bsk[0].spectrum()
 
 
+class TestSpectrumTableCache:
+    def test_second_call_is_a_cache_hit(self, keyset):
+        first = keyset.bsk_spectrum_table("double")
+        assert keyset.bsk_spectrum_table("double") is first
+
+    def test_precisions_cached_independently(self, keyset):
+        double = keyset.bsk_spectrum_table("double")
+        single = keyset.bsk_spectrum_table("single")
+        assert double is not single
+        assert double.dtype == np.complex128
+        assert single.dtype == np.complex64
+        assert keyset.bsk_spectrum_table("double") is double
+        assert keyset.bsk_spectrum_table("single") is single
+
+    def test_drop_spectrum_cache_clears_everything(self, keyset):
+        table = keyset.bsk_spectrum_table("double")
+        keyset.bsk_spectra()  # populate the lazy per-GGSW spectra too
+        assert any(g._spectrum is not None for g in keyset.bsk)
+
+        keyset.drop_spectrum_cache()
+        assert keyset._bsk_tables == {}
+        assert all(g._spectrum is None for g in keyset.bsk)
+
+        rebuilt = keyset.bsk_spectrum_table("double")
+        assert rebuilt is not table
+        np.testing.assert_array_equal(rebuilt, table)
+
+
 class TestDeterminism:
     def test_same_seed_same_keys(self):
         a = generate_keyset(TEST_PARAMS, np.random.default_rng(5))
